@@ -1,0 +1,107 @@
+// Command prefix-analyze consumes a trace written by prefix-trace, runs
+// the full profile analysis (hot objects, hot data streams, Algorithm 1
+// reconstitution, context inference with counter sharing) and writes the
+// resulting PreFix plan as JSON.
+//
+// Usage:
+//
+//	prefix-analyze -trace mcf.trace -o mcf.plan.json
+//	prefix-analyze -trace mcf.trace -variant hds -miner sequitur -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	core "prefix/internal/prefix"
+	"prefix/internal/report"
+	"prefix/internal/trace"
+)
+
+func main() {
+	var (
+		in      = flag.String("trace", "", "input trace file (required)")
+		out     = flag.String("o", "", "output plan JSON (default: stdout)")
+		bench   = flag.String("bench", "unknown", "benchmark name recorded in the plan")
+		variant = flag.String("variant", "hds+hot", "placement variant: hot, hds, hds+hot")
+		miner   = flag.String("miner", "lcs", "hot-data-stream miner: lcs or sequitur")
+		verbose = flag.Bool("v", false, "print the analysis summary (OHDS/RHDS)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var v core.Variant
+	switch *variant {
+	case "hot":
+		v = core.VariantHot
+	case "hds":
+		v = core.VariantHDS
+	case "hds+hot":
+		v = core.VariantHDSHot
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	cfg := core.DefaultPlanConfig(*bench, v)
+	switch *miner {
+	case "lcs":
+		cfg.Miner = core.MinerLCS
+	case "sequitur":
+		cfg.Miner = core.MinerSequitur
+	default:
+		fatal(fmt.Errorf("unknown miner %q", *miner))
+	}
+
+	a := trace.Analyze(tr)
+	plan, sum, err := core.BuildPlan(a, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "trace: %d events, %d objects, %d heap accesses\n",
+			len(tr.Events), len(a.Objects), a.HeapAccesses)
+		fmt.Fprintf(os.Stderr, "hot: %d objects covering %.1f%% of heap accesses, %d in streams\n",
+			sum.HotObjects, sum.CoveragePct, sum.HotInHDS)
+		fmt.Fprintf(os.Stderr, "context: %s, %d sites, %d counters\n",
+			plan.KindsString(), plan.NumSites(), plan.NumCounters())
+		fmt.Fprintf(os.Stderr, "region: %d bytes, %d placed objects\n",
+			plan.RegionSize, plan.PlacedObjects)
+		ohds := sum.OHDS
+		if len(ohds) > 8 {
+			ohds = ohds[:8]
+		}
+		report.Figure2(os.Stderr, ohds, sum.Recon)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := plan.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefix-analyze:", err)
+	os.Exit(1)
+}

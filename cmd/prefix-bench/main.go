@@ -1,0 +1,180 @@
+// Command prefix-bench regenerates the paper's evaluation: every table
+// and figure of the PreFix paper (CGO 2025), computed over the synthetic
+// benchmark suite and the full simulation pipeline.
+//
+// Usage:
+//
+//	prefix-bench                      # everything, long-run scale
+//	prefix-bench -only table3         # one table/figure
+//	prefix-bench -bench mcf,health    # a subset of benchmarks
+//	prefix-bench -scale bench         # faster, reduced-scale runs
+//	prefix-bench -heatmap-dir out/    # also write Figure 9 CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prefix/internal/pipeline"
+	"prefix/internal/report"
+	"prefix/internal/workloads"
+)
+
+func main() {
+	var (
+		only       = flag.String("only", "", "emit a single artifact: figure1, figure2, table2..table6, figure9..figure14")
+		benchList  = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
+		scale      = flag.String("scale", "long", "evaluation scale: long or bench")
+		heatmapDir = flag.String("heatmap-dir", "", "directory for Figure 9 heatmap CSVs")
+		capture    = flag.Bool("capture", false, "record long-run traces for Table 5 long-run columns (slower)")
+		seeds      = flag.Int("seeds", 0, "additionally run each benchmark across N perturbed evaluation seeds and report the variance (the paper averages over 10 runs)")
+	)
+	flag.Parse()
+
+	names := workloads.Names()
+	if *benchList != "" {
+		names = strings.Split(*benchList, ",")
+	}
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = *scale == "bench"
+	opt.CaptureLongRun = *capture
+
+	want := func(artifact string) bool {
+		return *only == "" || strings.EqualFold(*only, artifact)
+	}
+	needComparisons := false
+	for _, a := range []string{"figure1", "figure2", "table2", "table3", "table4", "table5", "table6", "figure11", "figure12", "figure13", "figure14"} {
+		if want(a) {
+			needComparisons = true
+		}
+	}
+
+	w := os.Stdout
+	var cmps []*pipeline.Comparison
+	if needComparisons {
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "running %s...\n", name)
+			cmp, err := pipeline.RunBenchmark(name, opt)
+			if err != nil {
+				fatal(err)
+			}
+			cmps = append(cmps, cmp)
+		}
+	}
+
+	emit := func(name string, f func() error) {
+		if !want(name) {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+
+	emit("figure1", func() error { return report.Figure1(w, cmps) })
+	emit("figure2", func() error {
+		// Use the first benchmark with a non-trivial reconstitution.
+		for _, c := range cmps {
+			s := c.Summaries[c.Best]
+			if len(s.OHDS) >= 2 {
+				ohds := s.OHDS
+				if len(ohds) > 10 {
+					ohds = ohds[:10]
+				}
+				fmt.Fprintf(w, "(reconstitution example from %s)\n", c.Benchmark)
+				report.Figure2(w, ohds, s.Recon)
+				return nil
+			}
+		}
+		fmt.Fprintln(w, "Figure 2: no benchmark produced multi-stream OHDS at this scale")
+		return nil
+	})
+	emit("table2", func() error { return report.Table2(w, cmps) })
+	emit("table3", func() error { return report.Table3(w, cmps) })
+	emit("table4", func() error { return report.Table4(w, cmps) })
+	emit("table5", func() error { return report.Table5(w, cmps) })
+	emit("table6", func() error { return report.Table6(w, cmps) })
+
+	if want("figure9") {
+		if err := figure9(w, opt, *heatmapDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(w)
+	}
+	if want("figure10") {
+		for _, name := range []string{"mysql", "mcf"} {
+			results, err := pipeline.RunMultithreaded(name, []int{1, 2, 4, 8, 16}, opt)
+			if err != nil {
+				fatal(err)
+			}
+			if err := report.Figure10(w, name, results); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	emit("figure11", func() error { return report.Figure11(w, cmps) })
+	emit("figure12", func() error { return report.Figure12(w, cmps) })
+	emit("figure13", func() error { return report.Figure13(w, cmps) })
+	emit("figure14", func() error { return report.Figure14(w, cmps) })
+
+	if *seeds > 0 && (*only == "" || strings.EqualFold(*only, "variance")) {
+		var vs []*pipeline.Variance
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "variance sweep %s (%d seeds)...\n", name, *seeds)
+			v, err := pipeline.RunVariance(name, *seeds, opt)
+			if err != nil {
+				fatal(err)
+			}
+			vs = append(vs, v)
+		}
+		if err := report.VarianceTable(w, vs); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// figure9 traces leela under baseline and PreFix and summarizes (and
+// optionally dumps) the access heatmaps.
+func figure9(w *os.File, opt pipeline.Options, dir string) error {
+	fmt.Fprintln(os.Stderr, "tracing leela for figure 9...")
+	base, best, err := pipeline.TraceBaselineAndBest("leela", opt)
+	if err != nil {
+		return err
+	}
+	hb := report.BuildHeatmap(base, 120, 80)
+	ho := report.BuildHeatmap(best, 120, 80)
+	report.Figure9(w, "leela", hb, ho)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for _, hm := range []struct {
+			name string
+			h    *report.Heatmap
+		}{{"leela-baseline.csv", hb}, {"leela-prefix.csv", ho}} {
+			f, err := os.Create(filepath.Join(dir, hm.name))
+			if err != nil {
+				return err
+			}
+			if err := hm.h.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "  CSVs written to %s\n", dir)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefix-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command prefix-opt runs one benchmark's evaluation input under a chosen
+// allocation strategy (baseline, HDS, HALO, or a PreFix plan) and prints
+// the run metrics — the "optimized executable" stage of Figure 8, plus
+// the measurement the paper's Table 3 row needs.
+//
+// Usage:
+//
+//	prefix-opt -bench mcf                       # compare all strategies
+//	prefix-opt -bench mcf -plan mcf.plan.json   # run a saved plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"prefix/internal/baselines"
+	"prefix/internal/cachesim"
+	"prefix/internal/machine"
+	"prefix/internal/pipeline"
+	core "prefix/internal/prefix"
+	"prefix/internal/workloads"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark name (required)")
+		planPath = flag.String("plan", "", "PreFix plan JSON (from prefix-analyze); when set, only that plan is run against the baseline")
+		scale    = flag.String("scale", "long", "evaluation scale: bench or long")
+		paperHW  = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
+	)
+	flag.Parse()
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = *scale == "bench"
+	if *paperHW {
+		opt.Cache = cachesim.PaperConfig()
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "strategy\tcycles\tvs baseline\tL1 miss\tLLC miss\tstalls\tpeak")
+
+	if *planPath != "" {
+		runSavedPlan(tw, *bench, *planPath, opt)
+		return
+	}
+
+	cmp, err := pipeline.RunBenchmark(*bench, opt)
+	if err != nil {
+		fatal(err)
+	}
+	row := func(name string, r pipeline.RunResult) {
+		m := r.Metrics
+		fmt.Fprintf(tw, "%s\t%.4g\t%+.2f%%\t%.3f%%\t%.4f%%\t%.1f%%\t%d\n",
+			name, m.Cycles, r.TimeDeltaPct(cmp.Baseline),
+			100*m.Cache.L1MissRate(), 100*m.Cache.LLCMissRate(),
+			m.BackendStallPct(), r.PeakBytes)
+	}
+	row("baseline", cmp.Baseline)
+	row("hds", cmp.HDS)
+	row("halo", cmp.HALO)
+	for _, v := range []core.Variant{core.VariantHot, core.VariantHDS, core.VariantHDSHot} {
+		row(v.String(), cmp.PreFix[v])
+	}
+	fmt.Fprintf(tw, "best\t%s\t%+.2f%%\t\t\t\t\n", cmp.Best, cmp.BestResult().TimeDeltaPct(cmp.Baseline))
+}
+
+func runSavedPlan(tw *tabwriter.Writer, bench, planPath string, opt pipeline.Options) {
+	spec, err := workloads.Get(bench)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(planPath)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := core.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := spec.Long
+	if opt.UseBenchScale {
+		cfg = spec.Bench
+	}
+
+	run := func(alloc machine.Allocator) machine.Metrics {
+		m := machine.New(alloc, opt.Cache)
+		spec.Program.Run(m, cfg)
+		return m.Finish()
+	}
+	base := run(baselines.NewBaseline(opt.Cache.Cost))
+	alloc := core.NewAllocator(plan, opt.Cache.Cost)
+	pm := run(alloc)
+
+	delta := 100 * (pm.Cycles - base.Cycles) / base.Cycles
+	fmt.Fprintf(tw, "baseline\t%.4g\t\t%.3f%%\t%.4f%%\t%.1f%%\t\n",
+		base.Cycles, 100*base.Cache.L1MissRate(), 100*base.Cache.LLCMissRate(), base.BackendStallPct())
+	fmt.Fprintf(tw, "%s\t%.4g\t%+.2f%%\t%.3f%%\t%.4f%%\t%.1f%%\t\n",
+		plan.Variant, pm.Cycles, delta,
+		100*pm.Cache.L1MissRate(), 100*pm.Cache.LLCMissRate(), pm.BackendStallPct())
+	cap := alloc.Capture()
+	fmt.Fprintf(tw, "capture\tavoided=%d\tfallback=%d\tstatic=%d\trecycled=%d\t\t\n",
+		cap.MallocsAvoided, cap.FallbackMallocs, cap.StaticCaptured, cap.RecycledCaptured)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefix-opt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command prefix-trace runs a benchmark under the tracing machine (the
+// DynamoRIO stage of the paper's Figure 8 pipeline) and writes the
+// allocation/access trace to a file for prefix-analyze.
+//
+// Usage:
+//
+//	prefix-trace -bench mcf -o mcf.trace            # profiling input
+//	prefix-trace -bench mcf -scale long -o mcf.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prefix/internal/baselines"
+	"prefix/internal/cachesim"
+	"prefix/internal/machine"
+	"prefix/internal/trace"
+	"prefix/internal/workloads"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark name (required); see -list")
+		out   = flag.String("o", "", "output trace file (required)")
+		scale = flag.String("scale", "profile", "run scale: profile, bench or long")
+		text  = flag.Bool("text", false, "write a human-readable text dump instead of the binary format")
+		list  = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *bench == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := workloads.Get(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := spec.Profile
+	switch *scale {
+	case "profile":
+	case "bench":
+		cfg = spec.Bench
+	case "long":
+		cfg = spec.Long
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	rec := trace.NewRecorder()
+	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), machine.WithRecorder(rec))
+	spec.Program.Run(m, cfg)
+	metrics := m.Finish()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	tr := rec.Trace()
+	var writeErr error
+	if *text {
+		writeErr = tr.WriteText(f)
+	} else {
+		writeErr = tr.Write(f)
+	}
+	if writeErr != nil {
+		f.Close()
+		fatal(writeErr)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	s := tr.Summarize()
+	fmt.Printf("%s: %d events (%d allocs over %d sites, %d accesses), %d instructions -> %s\n",
+		*bench, s.Events, s.Allocs, s.Sites, s.Accesses, metrics.Instr, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prefix-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// mcfgraph reproduces the paper's Figure 3 scenario as a custom program
+// written against the public API: a loop whose single malloc site creates
+// five objects per round, of which only the first and the fifth are hot.
+//
+// Calling-context techniques cannot tell the five apart — every object
+// shares the same call stack — but PreFix's (site, dynamic instance)
+// context identifies the hot pair exactly: the example prints the plan's
+// inferred pattern and the capture precision of the optimized run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefix"
+)
+
+const (
+	siteLoop prefix.SiteID = 1
+	fnParse  prefix.FuncID = 1
+	fnSolve  prefix.FuncID = 2
+)
+
+// program is the Figure 3 loop: per round it allocates O1..O5 from one
+// site under one call stack; O1 and O5 survive and are accessed
+// repeatedly by the solve phase; O2..O4 die immediately.
+func program(env prefix.Env, rounds int) {
+	type pair struct{ o1, o5 prefix.Addr }
+	var hot []pair
+
+	env.Enter(fnParse)
+	for r := 0; r < rounds; r++ {
+		var objs [5]prefix.Addr
+		for i := range objs {
+			objs[i] = env.Malloc(siteLoop, 48)
+			env.Write(objs[i], 16)
+		}
+		hot = append(hot, pair{objs[0], objs[4]})
+		env.Free(objs[1])
+		env.Free(objs[2])
+		env.Free(objs[3])
+	}
+	env.Leave()
+
+	env.Enter(fnSolve)
+	for sweep := 0; sweep < 40; sweep++ {
+		for _, p := range hot {
+			env.Read(p.o1, 32) // O1 and O5 are accessed together: one HDS
+			env.Read(p.o5, 32)
+			env.Compute(8)
+		}
+	}
+	env.Leave()
+
+	for _, p := range hot {
+		env.Free(p.o1)
+		env.Free(p.o5)
+	}
+}
+
+func main() {
+	cache := prefix.ScaledCacheConfig()
+
+	// 1. Profile.
+	rec := prefix.NewRecorder()
+	m := prefix.NewMachine(prefix.NewBaselineAllocator(cache), cache, rec)
+	program(m, 40)
+	baseMetrics := m.Finish()
+	analysis := prefix.Analyze(rec.Trace())
+
+	// 2. Plan.
+	plan, sum, err := prefix.BuildPlan(analysis, prefix.DefaultPlanConfig("mcfgraph", prefix.VariantHDSHot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 3 scenario: one site, five objects per round, O1 and O5 hot")
+	fmt.Printf("hot objects: %d of %d allocations (%.1f%% of heap accesses)\n",
+		sum.HotObjects, len(analysis.Objects), sum.CoveragePct)
+	fmt.Printf("inferred context: %s (%d site, %d counter)\n",
+		plan.KindsString(), plan.NumSites(), plan.NumCounters())
+	fmt.Printf("every call stack is identical, yet the id pattern separates O1/O5 exactly\n\n")
+
+	// 3. Optimize and re-run.
+	alloc := prefix.NewPreFixAllocator(plan, cache)
+	m2 := prefix.NewMachine(alloc, cache, nil)
+	program(m2, 40)
+	optMetrics := m2.Finish()
+
+	cap := alloc.Capture()
+	fmt.Printf("baseline: %.0f cycles\n", baseMetrics.Cycles)
+	fmt.Printf("PreFix:   %.0f cycles (%+.2f%%)\n", optMetrics.Cycles,
+		100*(optMetrics.Cycles-baseMetrics.Cycles)/baseMetrics.Cycles)
+	fmt.Printf("captured: %d allocations into the region, %d fell back to malloc\n",
+		cap.MallocsAvoided, cap.FallbackMallocs)
+	fmt.Printf("(a call-stack technique would have captured all %d allocations — Table 4's pollution)\n",
+		len(analysis.Objects))
+}

@@ -1,0 +1,44 @@
+// Quickstart: the complete PreFix pipeline on one benchmark in ~30 lines
+// of API — profile, plan, and compare the baseline against every
+// allocation strategy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	prefix "prefix"
+)
+
+func main() {
+	opt := prefix.DefaultOptions()
+	opt.UseBenchScale = true // fast demo scale
+
+	fmt.Println("PreFix quickstart: evaluating the 'ft' benchmark")
+	cmp, err := prefix.RunBenchmark("ft", opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := cmp.Baseline
+	fmt.Printf("baseline:        %12.0f cycles\n", base.Metrics.Cycles)
+	fmt.Printf("HDS   [8]:       %12.0f cycles (%+.2f%%)\n",
+		cmp.HDS.Metrics.Cycles, cmp.HDS.TimeDeltaPct(base))
+	fmt.Printf("HALO [21]:       %12.0f cycles (%+.2f%%)\n",
+		cmp.HALO.Metrics.Cycles, cmp.HALO.TimeDeltaPct(base))
+	for _, v := range []prefix.Variant{prefix.VariantHot, prefix.VariantHDS, prefix.VariantHDSHot} {
+		r := cmp.PreFix[v]
+		fmt.Printf("%-16s %12.0f cycles (%+.2f%%)\n", v.String()+":", r.Metrics.Cycles, r.TimeDeltaPct(base))
+	}
+
+	plan := cmp.Plans[cmp.Best]
+	fmt.Printf("\nbest variant: %v\n", cmp.Best)
+	fmt.Printf("context: %s over %d sites with %d counters\n",
+		plan.KindsString(), plan.NumSites(), plan.NumCounters())
+	fmt.Printf("preallocated region: %d bytes, %d statically placed objects\n",
+		plan.RegionSize, plan.PlacedObjects)
+	if cap := cmp.BestResult().Capture; cap != nil {
+		fmt.Printf("malloc calls avoided: %d (plus %d frees intercepted)\n",
+			cap.MallocsAvoided, cap.FreesAvoided)
+	}
+}

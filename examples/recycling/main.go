@@ -1,0 +1,86 @@
+// recycling demonstrates §2.4 object recycling on a swissmap-style churn
+// program: groups of objects are created, used, freed, and the pattern
+// repeats — so a fixed ring of N preallocated slots serves every
+// allocation, shrinks the footprint, and eliminates the malloc/free
+// traffic (paper Figure 7 and the povray/roms/leela/swissmap rows of
+// Table 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prefix"
+)
+
+const (
+	siteTable prefix.SiteID = 1
+	siteNoise prefix.SiteID = 2
+	fnBench   prefix.FuncID = 1
+)
+
+// churn creates a group of tables, probes them, frees them — repeatedly.
+// Noise allocations steal the freed blocks, so the baseline's tables
+// wander through the heap.
+func churn(env prefix.Env, rounds int) {
+	env.Enter(fnBench)
+	var noise []prefix.Addr
+	for r := 0; r < rounds; r++ {
+		var tables [6]prefix.Addr
+		for i := range tables {
+			tables[i] = env.Malloc(siteTable, 2048)
+			env.Write(tables[i], 64)
+		}
+		for p := 0; p < 120; p++ {
+			t := tables[(p*7)%len(tables)]
+			env.Read(t+prefix.Addr((p*176)%2000), 16)
+			env.Compute(12)
+		}
+		for _, t := range tables {
+			env.Free(t)
+		}
+		// Block-stealing noise.
+		n := env.Malloc(siteNoise, 1800)
+		env.Write(n, 32)
+		noise = append(noise, n)
+	}
+	for _, n := range noise {
+		env.Free(n)
+	}
+	env.Leave()
+}
+
+func main() {
+	cache := prefix.ScaledCacheConfig()
+
+	rec := prefix.NewRecorder()
+	m := prefix.NewMachine(prefix.NewBaselineAllocator(cache), cache, rec)
+	churn(m, 60)
+	base := m.Finish()
+	analysis := prefix.Analyze(rec.Trace())
+
+	plan, _, err := prefix.BuildPlan(analysis, prefix.DefaultPlanConfig("recycling", prefix.VariantHot))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("swissmap-style churn: groups of 6 tables created, probed, freed, repeated")
+	for i := range plan.Counters {
+		c := &plan.Counters[i]
+		if c.Recycle != nil {
+			fmt.Printf("recycling ring: %d slots x %d bytes (pattern: %v over sites %v)\n",
+				c.Recycle.N, c.Recycle.SlotSize, c.Kind, c.Sites)
+		}
+	}
+	fmt.Printf("preallocated region: %d bytes total\n\n", plan.RegionSize)
+
+	alloc := prefix.NewPreFixAllocator(plan, cache)
+	m2 := prefix.NewMachine(alloc, cache, nil)
+	churn(m2, 60)
+	opt := m2.Finish()
+
+	cap := alloc.Capture()
+	fmt.Printf("baseline: %.0f cycles\n", base.Cycles)
+	fmt.Printf("PreFix:   %.0f cycles (%+.2f%%)\n", opt.Cycles, 100*(opt.Cycles-base.Cycles)/base.Cycles)
+	fmt.Printf("malloc calls avoided: %d of %d table allocations\n", cap.MallocsAvoided, base.Mallocs)
+	fmt.Printf("the same %d bytes of region memory served every generation of tables\n", plan.RegionSize)
+}

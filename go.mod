@@ -1,0 +1,3 @@
+module prefix
+
+go 1.22

@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"sort"
+
+	"prefix/internal/hds"
+	"prefix/internal/hotness"
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// PlanHALO derives the HALO configuration from a profile, following the
+// HALO paper's recipe: allocation contexts (call-stack signatures) that
+// allocate hot objects are grouped by access affinity — contexts whose
+// objects co-occur in the same hot data stream land in the same group and
+// hence the same pool.
+func PlanHALO(a *trace.Analysis, hot *hotness.Set, streams []hds.Stream) HALOConfig {
+	// Union-find over the stack signatures of hot objects.
+	parent := make(map[mem.StackSig]mem.StackSig)
+	var find func(mem.StackSig) mem.StackSig
+	find = func(s mem.StackSig) mem.StackSig {
+		p, ok := parent[s]
+		if !ok {
+			parent[s] = s
+			return s
+		}
+		if p == s {
+			return s
+		}
+		r := find(p)
+		parent[s] = r
+		return r
+	}
+	union := func(x, y mem.StackSig) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+
+	sigOf := func(id mem.ObjectID) (mem.StackSig, bool) {
+		o := a.Object(id)
+		if o == nil {
+			return 0, false
+		}
+		return o.Stack, true
+	}
+	for _, o := range hot.Objects {
+		find(o.Stack) // ensure every hot context is represented
+	}
+	for _, s := range streams {
+		var first mem.StackSig
+		hasFirst := false
+		for _, id := range s.Objects {
+			sig, ok := sigOf(id)
+			if !ok {
+				continue
+			}
+			if !hasFirst {
+				first, hasFirst = sig, true
+				continue
+			}
+			union(first, sig)
+		}
+	}
+
+	// Assign dense group ids in deterministic (sorted signature) order.
+	roots := make(map[mem.StackSig]HALOGroup)
+	var sigs []mem.StackSig
+	for s := range parent {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	cfg := HALOConfig{Groups: make(map[mem.StackSig]HALOGroup)}
+	for _, s := range sigs {
+		r := find(s)
+		g, ok := roots[r]
+		if !ok {
+			g = HALOGroup(cfg.NumGroups)
+			roots[r] = g
+			cfg.NumGroups++
+		}
+		cfg.Groups[s] = g
+	}
+	return cfg
+}
+
+// HotSetOf converts a hotness selection into the (site, instance) ground
+// truth used for pollution accounting.
+func HotSetOf(hot *hotness.Set) HotSet {
+	hs := make(HotSet)
+	for site, insts := range hot.PerSite {
+		for _, inst := range insts {
+			hs.Add(site, inst)
+		}
+	}
+	return hs
+}
+
+// HDSSites returns the malloc sites that allocate stream objects — the
+// site set the HDS baseline redirects (profile-guided static ids,
+// Table 1). Streams below a small heat floor are ignored, as in the
+// original work: a stream must account for a meaningful share of the
+// references before its sites are worth redirecting.
+func HDSSites(a *trace.Analysis, streams []hds.Stream) []mem.SiteID {
+	var top uint64
+	for _, s := range streams {
+		if s.Heat > top {
+			top = s.Heat
+		}
+	}
+	floor := top / 10 // a stream must carry ≥10% of the hottest one's heat
+	set := make(map[mem.SiteID]bool)
+	for _, s := range streams {
+		if s.Heat < floor {
+			continue
+		}
+		for _, id := range s.Objects {
+			if o := a.Object(id); o != nil {
+				set[o.Site] = true
+			}
+		}
+	}
+	out := make([]mem.SiteID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,146 @@
+// Package binrewrite models the LLVM-BOLT post-link rewriting step of the
+// paper's pipeline (Figure 8): transforming the chosen malloc sites and
+// all free/realloc sites of a binary into their instrumented forms, and
+// accounting the resulting code-size growth (Figure 14).
+//
+// The model works on a BinaryInfo description of the executable rather
+// than on machine code: what Figure 14 reports is pure size accounting —
+// per-site instrumentation stubs, pattern tables, the id→offset mapping,
+// and (for the four benchmarks where BOLT kept the original code) a
+// duplicated .bolt.orig.text section.
+package binrewrite
+
+import (
+	"sort"
+
+	"prefix/internal/context"
+	"prefix/internal/mem"
+	"prefix/internal/prefix"
+	"prefix/internal/workloads"
+)
+
+// Per-transform size constants, in bytes. They model the instrumentation
+// sequences of Figures 4–7 on x86-64.
+const (
+	// MallocStub is the counter bump + pattern check + placement branch
+	// inserted at each instrumented malloc site (Figure 4 / Figure 7).
+	MallocStub = 96
+	// FreeStub is the region range check at each free site (Figure 5).
+	FreeStub = 48
+	// ReallocStub is the Figure 6 sequence at each realloc site.
+	ReallocStub = 112
+	// CounterBytes is the static storage for one counter.
+	CounterBytes = 16
+	// FixedEntry / MapEntry are the table bytes per fixed id and per
+	// id→offset mapping entry.
+	FixedEntry = 8
+	MapEntry   = 24
+	// RegionSetup is the one-time preallocation/teardown code.
+	RegionSetup = 256
+)
+
+// SizeReport is the Figure 14 row for one benchmark.
+type SizeReport struct {
+	Benchmark string
+	BaseBytes uint64
+	// InstrBytes is the instrumentation growth (stubs + tables).
+	InstrBytes uint64
+	// OrigTextBytes is the retained .bolt.orig.text (0 unless the
+	// benchmark's BOLT configuration kept it).
+	OrigTextBytes uint64
+}
+
+// OptBytes is the optimized binary's total size.
+func (r SizeReport) OptBytes() uint64 {
+	return r.BaseBytes + r.InstrBytes + r.OrigTextBytes
+}
+
+// GrowthPct is the relative size increase in percent.
+func (r SizeReport) GrowthPct() float64 {
+	if r.BaseBytes == 0 {
+		return 0
+	}
+	return 100 * float64(r.OptBytes()-r.BaseBytes) / float64(r.BaseBytes)
+}
+
+// InstrumentedGrowthPct excludes the retained original text, the paper's
+// observation that "excluding this section makes the code size bloat of
+// these benchmarks similar to the other ones".
+func (r SizeReport) InstrumentedGrowthPct() float64 {
+	if r.BaseBytes == 0 {
+		return 0
+	}
+	return 100 * float64(r.InstrBytes) / float64(r.BaseBytes)
+}
+
+// Rewrite sizes the instrumented binary produced by applying plan to the
+// given executable.
+func Rewrite(info workloads.BinaryInfo, plan *prefix.Plan) SizeReport {
+	r := SizeReport{Benchmark: plan.Benchmark, BaseBytes: info.TextBytes}
+	r.InstrBytes = RegionSetup
+	// Only relevant malloc sites are instrumented (§2.3a)…
+	r.InstrBytes += uint64(plan.NumSites()) * MallocStub
+	// …but every free and realloc site needs the region check (§2.3b,c).
+	r.InstrBytes += uint64(info.FreeSites) * FreeStub
+	r.InstrBytes += uint64(info.ReallocSites) * ReallocStub
+	for i := range plan.Counters {
+		c := &plan.Counters[i]
+		r.InstrBytes += CounterBytes
+		if c.Kind == context.KindFixed {
+			r.InstrBytes += uint64(len(c.Set)) * FixedEntry
+		}
+		r.InstrBytes += uint64(tableEntries(c)) * MapEntry
+	}
+	if info.BoltOrigText {
+		r.OrigTextBytes = info.TextBytes
+	}
+	return r
+}
+
+// tableEntries models the size of a counter's id→offset mapping. When
+// hot ids and offsets mostly advance with a short repeating delta pattern
+// (uniform-size objects placed in allocation order, interleaved pairs
+// like record/cell), the offset is a closed-form function of the id and
+// only the *irregular* entries — stream-reordered objects, gaps — need
+// stored exceptions. This is the common case for the "all ids"
+// benchmarks with tens of thousands of placed objects.
+func tableEntries(c *prefix.PlanCounter) int {
+	n := len(c.SlotOf)
+	if n < 3 {
+		return n
+	}
+	ids := make([]mem.Instance, 0, n)
+	for id := range c.SlotOf {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	type step struct {
+		idGap uint64
+		delta int64
+	}
+	steps := make([]step, 0, n-1)
+	for i := 1; i < n; i++ {
+		steps = append(steps, step{
+			idGap: uint64(ids[i] - ids[i-1]),
+			delta: int64(c.SlotOf[ids[i]].Offset) - int64(c.SlotOf[ids[i-1]].Offset),
+		})
+	}
+	best := n // worst case: every entry stored
+	for period := 1; period <= 4 && period < len(steps); period++ {
+		anomalies := 1 // the first entry anchors the formula
+		for i := period; i < len(steps); i++ {
+			if steps[i] != steps[i-period] {
+				anomalies++
+			}
+		}
+		if anomalies < best {
+			best = anomalies
+		}
+	}
+	return best
+}
+
+// computedPlacement reports whether the mapping needs no table at all.
+func computedPlacement(c *prefix.PlanCounter) bool {
+	return len(c.SlotOf) == 0 || (len(c.SlotOf) >= 3 && tableEntries(c) <= 1)
+}

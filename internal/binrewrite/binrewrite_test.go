@@ -1,0 +1,150 @@
+package binrewrite
+
+import (
+	"testing"
+
+	"prefix/internal/context"
+	"prefix/internal/mem"
+	"prefix/internal/prefix"
+	"prefix/internal/workloads"
+)
+
+func plan() *prefix.Plan {
+	return &prefix.Plan{
+		Benchmark:  "t",
+		RegionSize: 256,
+		Counters: []prefix.PlanCounter{
+			{
+				Sites: []mem.SiteID{1, 2},
+				Kind:  context.KindFixed,
+				Set:   []mem.Instance{1, 2, 3},
+				SlotOf: map[mem.Instance]prefix.Slot{
+					// Irregular offsets: the mapping needs a real table.
+					1: {Offset: 0, Size: 64},
+					2: {Offset: 64, Size: 16},
+					3: {Offset: 176, Size: 64},
+				},
+			},
+			{
+				Sites:   []mem.SiteID{3},
+				Kind:    context.KindAll,
+				Recycle: &prefix.RecyclePlan{N: 2, SlotSize: 32, Base: 192},
+			},
+		},
+		SiteCounter: map[mem.SiteID]int{1: 0, 2: 0, 3: 1},
+	}
+}
+
+func info() workloads.BinaryInfo {
+	return workloads.BinaryInfo{
+		TextBytes:   100 << 10,
+		MallocSites: 40, FreeSites: 20, ReallocSites: 2,
+	}
+}
+
+func TestRewriteAccounting(t *testing.T) {
+	r := Rewrite(info(), plan())
+	want := uint64(RegionSetup) +
+		3*MallocStub + // 3 instrumented sites
+		20*FreeStub +
+		2*ReallocStub +
+		2*CounterBytes +
+		3*FixedEntry +
+		2*MapEntry // 2 irregular entries; the first anchors the formula
+	if r.InstrBytes != want {
+		t.Errorf("instr bytes = %d, want %d", r.InstrBytes, want)
+	}
+	if r.OrigTextBytes != 0 {
+		t.Error("no .bolt.orig.text expected")
+	}
+	if r.OptBytes() != r.BaseBytes+r.InstrBytes {
+		t.Error("opt size wrong")
+	}
+}
+
+func TestRewriteBoltOrigText(t *testing.T) {
+	in := info()
+	in.BoltOrigText = true
+	r := Rewrite(in, plan())
+	if r.OrigTextBytes != in.TextBytes {
+		t.Error("retained original text not accounted")
+	}
+	if r.GrowthPct() <= 100 {
+		t.Errorf("growth with retained text should exceed 100%%, got %v", r.GrowthPct())
+	}
+	if r.InstrumentedGrowthPct() >= 100 {
+		t.Errorf("instrumentation-only growth should be small, got %v", r.InstrumentedGrowthPct())
+	}
+}
+
+func TestGrowthPctZeroBase(t *testing.T) {
+	r := SizeReport{}
+	if r.GrowthPct() != 0 || r.InstrumentedGrowthPct() != 0 {
+		t.Error("zero base should not divide by zero")
+	}
+}
+
+func TestComputedPlacementElidesTable(t *testing.T) {
+	// Uniform-size contiguous placement: offset is a closed-form
+	// function of the id — no mapping table bytes.
+	uniform := &prefix.PlanCounter{
+		Sites: []mem.SiteID{1},
+		Kind:  context.KindAll,
+		SlotOf: map[mem.Instance]prefix.Slot{
+			1: {Offset: 0, Size: 64},
+			2: {Offset: 64, Size: 64},
+			3: {Offset: 128, Size: 64},
+			4: {Offset: 192, Size: 64},
+		},
+	}
+	if !computedPlacement(uniform) {
+		t.Error("uniform placement should need no table")
+	}
+	// Interleaved pair sizes (record/cell): period-2 delta pattern.
+	pairs := &prefix.PlanCounter{
+		SlotOf: map[mem.Instance]prefix.Slot{
+			1: {Offset: 0, Size: 48},
+			2: {Offset: 48, Size: 32},
+			3: {Offset: 80, Size: 48},
+			4: {Offset: 128, Size: 32},
+			5: {Offset: 160, Size: 48},
+		},
+	}
+	if !computedPlacement(pairs) {
+		t.Error("period-2 placement should need no table")
+	}
+	// Regularly gapped ids (a Regular pattern) are still computable.
+	gap := &prefix.PlanCounter{
+		SlotOf: map[mem.Instance]prefix.Slot{
+			1: {Offset: 0, Size: 64},
+			3: {Offset: 64, Size: 64},
+			5: {Offset: 128, Size: 64},
+		},
+	}
+	if !computedPlacement(gap) {
+		t.Error("regularly gapped ids are computable")
+	}
+	// Irregular offsets need (mostly) stored entries.
+	irregular := &prefix.PlanCounter{
+		SlotOf: map[mem.Instance]prefix.Slot{
+			1: {Offset: 0, Size: 64},
+			2: {Offset: 64, Size: 16},
+			3: {Offset: 176, Size: 64},
+			4: {Offset: 180, Size: 4},
+			5: {Offset: 400, Size: 64},
+		},
+	}
+	if computedPlacement(irregular) {
+		t.Error("irregular offsets require a table")
+	}
+}
+
+func TestOnlyRelevantMallocSitesInstrumented(t *testing.T) {
+	// 40 malloc sites in the binary but only 3 in the plan: growth must
+	// scale with the plan (§2.3: "only relevant malloc sites ... are
+	// instrumented").
+	r := Rewrite(info(), plan())
+	if r.InstrBytes >= uint64(40*MallocStub) {
+		t.Error("instrumentation seems to cover all malloc sites")
+	}
+}

@@ -1,0 +1,170 @@
+// Package cachesim simulates the memory hierarchy the paper measures with
+// DrCacheSim and hardware counters: a set-associative L1 data cache, a
+// shared last-level cache, a two-level data TLB, and a cycle cost model
+// that stands in for execution time and backend-stall measurements.
+//
+// The default geometry matches the paper's evaluation machine (§3.2):
+// 32 KB 8-way L1 with 64 B lines; 40 MB 20-way LLC with 64 B lines; TLB
+// with 64-entry 4-way L1 and 1536-entry 6-way L2. A scaled configuration
+// with a smaller LLC is provided so the full 13-benchmark harness runs in
+// seconds; EXPERIMENTS.md documents the scaling.
+package cachesim
+
+import (
+	"fmt"
+
+	"prefix/internal/mem"
+)
+
+// Policy selects a cache replacement policy.
+type Policy uint8
+
+const (
+	// PolicyLRU is true least-recently-used (the default).
+	PolicyLRU Policy = iota
+	// PolicyFIFO evicts in fill order regardless of reuse.
+	PolicyFIFO
+	// PolicyRandom evicts a deterministic pseudo-random way.
+	PolicyRandom
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRU:
+		return "lru"
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyRandom:
+		return "random"
+	default:
+		return "policy?"
+	}
+}
+
+// Cache is one set-associative, write-allocate cache level. Tags are
+// line (or page) numbers; no data is stored.
+type Cache struct {
+	sets     uint64
+	ways     int
+	shift    uint // address bits consumed below the index (line/page)
+	policy   Policy
+	tags     [][]uint64 // per set; MRU-first for LRU, fill-order for FIFO
+	rng      uint64     // xorshift state for PolicyRandom
+	accesses uint64
+	misses   uint64
+}
+
+// NewCache builds a cache of size bytes with the given associativity and
+// line size. size must be divisible by ways*line and the set count must be
+// a power of two.
+func NewCache(size, line uint64, ways int) (*Cache, error) {
+	if size == 0 || line == 0 || ways <= 0 {
+		return nil, fmt.Errorf("cachesim: bad geometry size=%d line=%d ways=%d", size, line, ways)
+	}
+	lines := size / line
+	if lines%uint64(ways) != 0 {
+		return nil, fmt.Errorf("cachesim: %d lines not divisible by %d ways", lines, ways)
+	}
+	sets := lines / uint64(ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	var shift uint
+	for l := line; l > 1; l >>= 1 {
+		if l&1 != 0 {
+			return nil, fmt.Errorf("cachesim: line size %d not a power of two", line)
+		}
+		shift++
+	}
+	c := &Cache{sets: sets, ways: ways, shift: shift, rng: 0x9e3779b97f4a7c15}
+	c.tags = make([][]uint64, sets)
+	return c, nil
+}
+
+// SetPolicy selects the replacement policy; call before first use.
+func (c *Cache) SetPolicy(p Policy) { c.policy = p }
+
+// Policy returns the active replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// MustCache is NewCache that panics on bad geometry; for package presets.
+func MustCache(size, line uint64, ways int) *Cache {
+	c, err := NewCache(size, line, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access touches the block containing addr and reports whether it hit.
+func (c *Cache) Access(addr mem.Addr) bool {
+	c.accesses++
+	block := uint64(addr) >> c.shift
+	set := block & (c.sets - 1)
+	ws := c.tags[set]
+	for i, tag := range ws {
+		if tag == block {
+			if c.policy == PolicyLRU {
+				// Move to MRU.
+				copy(ws[1:i+1], ws[:i])
+				ws[0] = block
+			}
+			return true
+		}
+	}
+	c.misses++
+	switch {
+	case len(ws) < c.ways:
+		// Fill an empty way: insert at the front (MRU / newest).
+		ws = append(ws, 0)
+		copy(ws[1:], ws)
+		ws[0] = block
+	case c.policy == PolicyRandom:
+		// Deterministic xorshift victim.
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		ws[c.rng%uint64(len(ws))] = block
+	default:
+		// LRU and FIFO both evict the tail and insert at the head; the
+		// difference is that FIFO never refreshes on hit.
+		copy(ws[1:], ws)
+		ws[0] = block
+	}
+	c.tags[set] = ws
+	return false
+}
+
+// Contains reports whether the block holding addr is resident (no state
+// change, no accounting).
+func (c *Cache) Contains(addr mem.Addr) bool {
+	block := uint64(addr) >> c.shift
+	for _, tag := range c.tags[block&(c.sets-1)] {
+		if tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Accesses returns the number of Access calls.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// Misses returns the number of misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses/accesses (0 when empty).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = nil
+	}
+	c.accesses, c.misses = 0, 0
+}

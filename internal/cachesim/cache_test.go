@@ -1,0 +1,183 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := NewCache(32<<10, 64, 8); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := []struct {
+		size, line uint64
+		ways       int
+	}{
+		{0, 64, 8},
+		{32 << 10, 0, 8},
+		{32 << 10, 64, 0},
+		{32 << 10, 63, 8},   // non-power-of-two line
+		{48 << 10, 64, 8},   // set count not a power of two
+		{32 << 10, 64, 768}, // lines not divisible by ways... (512/768)
+	}
+	for _, c := range bad {
+		if _, err := NewCache(c.size, c.line, c.ways); err == nil {
+			t.Errorf("geometry %+v accepted", c)
+		}
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := MustCache(1024, 64, 2)
+	if c.Access(0x100) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x13f) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(0x140) {
+		t.Error("next line should miss")
+	}
+	if c.Misses() != 2 || c.Accesses() != 4 {
+		t.Errorf("misses=%d accesses=%d", c.Misses(), c.Accesses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets, 2 ways, 64B lines => lines mapping to set 0: 0, 128, 256...
+	c := MustCache(256, 64, 2)
+	c.Access(0)   // set0: [0]
+	c.Access(128) // set0: [128 0]
+	c.Access(0)   // set0: [0 128] (MRU refresh)
+	c.Access(256) // evicts 128
+	if !c.Access(0) {
+		t.Error("line 0 should have survived (was MRU)")
+	}
+	if c.Access(128) {
+		t.Error("line 128 should have been evicted")
+	}
+}
+
+func TestContainsDoesNotTouch(t *testing.T) {
+	c := MustCache(256, 64, 2)
+	c.Access(0)
+	acc := c.Accesses()
+	if !c.Contains(0) || c.Contains(64) {
+		t.Error("Contains wrong")
+	}
+	if c.Accesses() != acc {
+		t.Error("Contains must not count as access")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := MustCache(256, 64, 2)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 || c.Contains(0) {
+		t.Error("reset incomplete")
+	}
+}
+
+// referenceLRU is a slow, obviously-correct fully-indexed model.
+type referenceLRU struct {
+	sets  uint64
+	ways  int
+	shift uint
+	sets_ []([]uint64)
+}
+
+func newReferenceLRU(size, line uint64, ways int) *referenceLRU {
+	lines := size / line
+	sets := lines / uint64(ways)
+	var shift uint
+	for l := line; l > 1; l >>= 1 {
+		shift++
+	}
+	r := &referenceLRU{sets: sets, ways: ways, shift: shift}
+	r.sets_ = make([][]uint64, sets)
+	return r
+}
+
+func (r *referenceLRU) access(addr mem.Addr) bool {
+	block := uint64(addr) >> r.shift
+	si := block & (r.sets - 1)
+	set := r.sets_[si]
+	for i, b := range set {
+		if b == block {
+			r.sets_[si] = append([]uint64{block}, append(set[:i:i], set[i+1:]...)...)
+			return true
+		}
+	}
+	set = append([]uint64{block}, set...)
+	if len(set) > r.ways {
+		set = set[:r.ways]
+	}
+	r.sets_[si] = set
+	return false
+}
+
+// TestAgainstReferenceModel: property — the cache matches a trivially
+// correct LRU model on random address streams.
+func TestAgainstReferenceModel(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		c := MustCache(4096, 64, 4)
+		ref := newReferenceLRU(4096, 64, 4)
+		for i := 0; i < 3000; i++ {
+			a := mem.Addr(rng.Uint64n(32 << 10))
+			if c.Access(a) != ref.access(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := MustCache(1024, 64, 2)
+	if c.MissRate() != 0 {
+		t.Error("empty cache miss rate should be 0")
+	}
+	c.Access(0)
+	c.Access(0)
+	if c.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestWorkingSetFits(t *testing.T) {
+	c := MustCache(32<<10, 64, 8)
+	// 16KB working set fits a 32KB cache: second sweep must be all hits.
+	for rep := 0; rep < 2; rep++ {
+		for a := mem.Addr(0); a < 16<<10; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.Misses() != 256 {
+		t.Errorf("misses = %d, want 256 (first sweep only)", c.Misses())
+	}
+}
+
+func TestWorkingSetThrashes(t *testing.T) {
+	c := MustCache(32<<10, 64, 8)
+	// A 64KB working set in a 32KB cache with a sequential sweep thrashes
+	// under LRU: every access misses.
+	for rep := 0; rep < 3; rep++ {
+		for a := mem.Addr(0); a < 64<<10; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.Misses() != c.Accesses() {
+		t.Errorf("sequential over-capacity sweep should always miss: %d/%d", c.Misses(), c.Accesses())
+	}
+}

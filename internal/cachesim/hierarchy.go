@@ -1,0 +1,255 @@
+package cachesim
+
+import (
+	"prefix/internal/mem"
+)
+
+// Config describes a full hierarchy: L1D + LLC + two-level TLB, with the
+// cycle cost model used to derive execution time and backend stalls.
+type Config struct {
+	L1Size uint64
+	L1Ways int
+	// L2Size/L2Ways add an optional private mid-level cache between L1
+	// and the LLC; 0 disables it (the default — the evaluation's
+	// calibration uses the two-level hierarchy of §3.2).
+	L2Size  uint64
+	L2Ways  int
+	LLCSize uint64
+	LLCWays int
+	Line    uint64
+
+	TLB1Entries int
+	TLB1Ways    int
+	TLB2Entries int
+	TLB2Ways    int
+	Page        uint64
+
+	// NextLinePrefetch enables the next-line prefetcher: on an L1 demand
+	// miss, the following line is installed in the LLC. This is what
+	// rewards stream-ordered layouts (reconstituted HDS objects placed
+	// in access order prefetch one another), matching the hardware the
+	// paper measures on.
+	NextLinePrefetch bool
+
+	Cost CostModel
+}
+
+// CostModel converts event counts into cycles. The constants are ordinary
+// figures for a modern Intel server part; absolute values only scale the
+// modeled "execution time", all paper comparisons are relative.
+type CostModel struct {
+	CyclesPerInstr float64 // base IPC⁻¹ for non-memory work
+	L1HitCycles    float64 // charged per memory access
+	L2HitCycles    float64 // extra cycles when L1 misses but L2 hits
+	L1MissCycles   float64 // extra cycles when L1 misses but LLC hits
+	LLCMissCycles  float64 // extra cycles when LLC misses (DRAM)
+	TLB1MissCycles float64 // extra when L1 TLB misses but L2 TLB hits
+	TLB2MissCycles float64 // extra for a page walk
+	MallocInstr    uint64  // instructions charged per heap malloc
+	FreeInstr      uint64  // instructions charged per heap free
+	ReallocInstr   uint64  // instructions charged per heap realloc
+}
+
+// DefaultCost is the cost model used across the evaluation.
+func DefaultCost() CostModel {
+	return CostModel{
+		CyclesPerInstr: 0.5,
+		L1HitCycles:    1,
+		L2HitCycles:    6,  // L1 miss, L2 hit (when an L2 is configured)
+		L1MissCycles:   12, // L1 miss, LLC hit
+		LLCMissCycles:  200,
+		TLB1MissCycles: 8,
+		TLB2MissCycles: 60,
+		MallocInstr:    120,
+		FreeInstr:      90,
+		ReallocInstr:   160,
+	}
+}
+
+// PaperConfig is the evaluation machine of §3.2: 32 KB 8-way L1, 40 MB
+// 20-way LLC, 64 B lines, 64-entry 4-way L1 TLB, 1536-entry 6-way L2 TLB.
+func PaperConfig() Config {
+	return Config{
+		L1Size: 32 << 10, L1Ways: 8,
+		LLCSize: 40 << 20, LLCWays: 20,
+		Line:        64,
+		TLB1Entries: 64, TLB1Ways: 4,
+		TLB2Entries: 1536, TLB2Ways: 6,
+		Page:             4096,
+		NextLinePrefetch: true,
+		Cost:             DefaultCost(),
+	}
+}
+
+// ScaledConfig shrinks the LLC to 2 MB (16-way) so scaled-down workloads
+// exercise LLC misses the way the paper's full-size runs exercise the
+// 40 MB LLC. Everything else matches PaperConfig.
+func ScaledConfig() Config {
+	c := PaperConfig()
+	c.LLCSize = 2 << 20
+	c.LLCWays = 16
+	return c
+}
+
+// Hierarchy simulates one hardware thread's view of the memory system: a
+// private L1 and TLBs in front of a (possibly shared) LLC.
+type Hierarchy struct {
+	cfg  Config
+	l1   *Cache
+	l2   *Cache // optional private mid-level cache (nil when disabled)
+	llc  *Cache // may be shared between hierarchies
+	tlb1 *Cache
+	tlb2 *Cache
+
+	counts Counts
+}
+
+// Counts aggregates simulation totals.
+type Counts struct {
+	Accesses   uint64
+	L1Misses   uint64
+	L2Hits     uint64 // L1 misses served by the optional L2
+	LLCHits    uint64 // misses served by LLC
+	LLCMisses  uint64
+	TLB1Miss   uint64
+	TLB2Miss   uint64
+	Prefetches uint64 // next-line prefetches issued
+}
+
+// New builds a hierarchy with a private LLC.
+func New(cfg Config) *Hierarchy {
+	llc := MustCache(cfg.LLCSize, cfg.Line, cfg.LLCWays)
+	return NewShared(cfg, llc)
+}
+
+// NewShared builds a hierarchy whose LLC is the given (shared) cache; used
+// for multithreaded simulation where threads have private L1s.
+func NewShared(cfg Config, llc *Cache) *Hierarchy {
+	h := &Hierarchy{
+		cfg:  cfg,
+		l1:   MustCache(cfg.L1Size, cfg.Line, cfg.L1Ways),
+		llc:  llc,
+		tlb1: MustCache(uint64(cfg.TLB1Entries)*cfg.Page, cfg.Page, cfg.TLB1Ways),
+		tlb2: MustCache(uint64(cfg.TLB2Entries)*cfg.Page, cfg.Page, cfg.TLB2Ways),
+	}
+	if cfg.L2Size > 0 {
+		h.l2 = MustCache(cfg.L2Size, cfg.Line, cfg.L2Ways)
+	}
+	return h
+}
+
+// SharedLLC builds an LLC suitable for NewShared from cfg.
+func SharedLLC(cfg Config) *Cache { return MustCache(cfg.LLCSize, cfg.Line, cfg.LLCWays) }
+
+// Access simulates one data reference of the given width. Accesses that
+// straddle a line boundary touch both lines (one counted access, both line
+// fills), matching DrCacheSim accounting closely enough for the ratios the
+// paper reports.
+func (h *Hierarchy) Access(addr mem.Addr, size uint64) {
+	if size == 0 {
+		size = 1
+	}
+	h.counts.Accesses++
+	// TLB lookup for the first page only; straddles are negligible.
+	if !h.tlb1.Access(addr) {
+		h.counts.TLB1Miss++
+		if !h.tlb2.Access(addr) {
+			h.counts.TLB2Miss++
+		}
+	}
+	first := uint64(addr) &^ (h.cfg.Line - 1)
+	last := (uint64(addr) + size - 1) &^ (h.cfg.Line - 1)
+	for line := first; ; line += h.cfg.Line {
+		if !h.l1.Access(mem.Addr(line)) {
+			h.counts.L1Misses++
+			if h.l2 != nil && h.l2.Access(mem.Addr(line)) {
+				h.counts.L2Hits++
+				if line == last {
+					break
+				}
+				continue
+			}
+			if h.llc.Access(mem.Addr(line)) {
+				h.counts.LLCHits++
+			} else {
+				h.counts.LLCMisses++
+			}
+			if h.cfg.NextLinePrefetch {
+				// Install the successor line in the LLC. Prefetch
+				// traffic is tracked separately and never counted as a
+				// demand miss.
+				h.llc.Access(mem.Addr(line + h.cfg.Line))
+				h.counts.Prefetches++
+			}
+		}
+		if line == last {
+			break
+		}
+	}
+}
+
+// Counts returns the accumulated totals.
+func (h *Hierarchy) Counts() Counts { return h.counts }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// L1MissRate is L1 misses per access.
+func (c Counts) L1MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.L1Misses) / float64(c.Accesses)
+}
+
+// LLCMissRate is LLC misses per access (the paper's Figure 12 metric:
+// percentage of memory accesses that missed in the LLC).
+func (c Counts) LLCMissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(c.Accesses)
+}
+
+// TLBMissRate is combined TLB miss rate per access.
+func (c Counts) TLBMissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.TLB1Miss) / float64(c.Accesses)
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(o Counts) {
+	c.Accesses += o.Accesses
+	c.L1Misses += o.L1Misses
+	c.L2Hits += o.L2Hits
+	c.LLCHits += o.LLCHits
+	c.LLCMisses += o.LLCMisses
+	c.TLB1Miss += o.TLB1Miss
+	c.TLB2Miss += o.TLB2Miss
+	c.Prefetches += o.Prefetches
+}
+
+// Cycles applies the cost model: instr covers non-memory instructions,
+// counts covers the memory side.
+func (m CostModel) Cycles(instr uint64, c Counts) float64 {
+	cy := float64(instr) * m.CyclesPerInstr
+	cy += float64(c.Accesses) * m.L1HitCycles
+	cy += float64(c.L2Hits) * m.L2HitCycles
+	cy += float64(c.L1Misses-c.L2Hits) * m.L1MissCycles
+	cy += float64(c.LLCMisses) * m.LLCMissCycles
+	cy += float64(c.TLB1Miss) * m.TLB1MissCycles
+	cy += float64(c.TLB2Miss) * m.TLB2MissCycles
+	return cy
+}
+
+// StallCycles returns the memory-stall component of Cycles, the numerator
+// of the paper's Figure 13 "backend stall" metric.
+func (m CostModel) StallCycles(c Counts) float64 {
+	return float64(c.L2Hits)*m.L2HitCycles +
+		float64(c.L1Misses-c.L2Hits)*m.L1MissCycles +
+		float64(c.LLCMisses)*m.LLCMissCycles +
+		float64(c.TLB1Miss)*m.TLB1MissCycles +
+		float64(c.TLB2Miss)*m.TLB2MissCycles
+}

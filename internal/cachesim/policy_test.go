@@ -1,0 +1,123 @@
+package cachesim
+
+import (
+	"testing"
+
+	"prefix/internal/mem"
+)
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyLRU.String() != "lru" || PolicyFIFO.String() != "fifo" || PolicyRandom.String() != "random" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestFIFODoesNotRefreshOnHit(t *testing.T) {
+	// 1 set x 2 ways. Fill A, B; touch A (hit); insert C.
+	// LRU would evict B (A was refreshed); FIFO evicts A (oldest fill).
+	c := MustCache(128, 64, 2)
+	c.SetPolicy(PolicyFIFO)
+	c.Access(0)       // A
+	c.Access(1 << 20) // B (same set: only one set)
+	c.Access(0)       // hit A — no refresh under FIFO
+	c.Access(2 << 20) // C evicts A
+	if c.Contains(0) {
+		t.Error("FIFO should have evicted the oldest fill (A)")
+	}
+	if !c.Contains(1 << 20) {
+		t.Error("B should survive under FIFO")
+	}
+}
+
+func TestLRURefreshesOnHit(t *testing.T) {
+	c := MustCache(128, 64, 2)
+	c.Access(0)
+	c.Access(1 << 20)
+	c.Access(0)
+	c.Access(2 << 20)
+	if !c.Contains(0) {
+		t.Error("LRU should keep the refreshed line")
+	}
+	if c.Contains(1 << 20) {
+		t.Error("LRU should evict the least recent line")
+	}
+}
+
+func TestRandomPolicyDeterministicAndValid(t *testing.T) {
+	run := func() uint64 {
+		c := MustCache(4096, 64, 4)
+		c.SetPolicy(PolicyRandom)
+		for i := 0; i < 5000; i++ {
+			c.Access(mem.Addr((i * 7919) % (64 << 10)))
+		}
+		return c.Misses()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("random policy not deterministic: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Error("no misses recorded")
+	}
+}
+
+func TestRandomPolicyNeverExceedsWays(t *testing.T) {
+	c := MustCache(256, 64, 2) // 2 sets x 2 ways
+	c.SetPolicy(PolicyRandom)
+	for i := 0; i < 100; i++ {
+		c.Access(mem.Addr(i * 64))
+	}
+	for _, set := range c.tags {
+		if len(set) > 2 {
+			t.Fatalf("set grew past associativity: %d", len(set))
+		}
+	}
+}
+
+func TestOptionalL2Level(t *testing.T) {
+	cfg := ScaledConfig()
+	cfg.NextLinePrefetch = false
+	cfg.L2Size = 256 << 10
+	cfg.L2Ways = 8
+	h := New(cfg)
+	h.Access(0x1000, 8)
+	// Evict from the 32KB L1 but not from the 256KB L2.
+	for a := mem.Addr(0x100000); a < 0x100000+64<<10; a += 64 {
+		h.Access(a, 8)
+	}
+	before := h.Counts()
+	h.Access(0x1000, 8)
+	after := h.Counts()
+	if after.L2Hits != before.L2Hits+1 {
+		t.Errorf("expected an L2 hit: %+v -> %+v", before, after)
+	}
+	if after.LLCMisses != before.LLCMisses || after.LLCHits != before.LLCHits {
+		t.Error("L2 hit must not touch the LLC")
+	}
+}
+
+func TestL2CostModel(t *testing.T) {
+	m := DefaultCost()
+	var c Counts
+	c.Accesses = 10
+	c.L1Misses = 4
+	c.L2Hits = 4
+	withL2 := m.Cycles(0, c)
+	c.L2Hits = 0
+	c.LLCHits = 4
+	withoutL2 := m.Cycles(0, c)
+	if withL2 >= withoutL2 {
+		t.Errorf("L2 hits should be cheaper than LLC hits: %v vs %v", withL2, withoutL2)
+	}
+}
+
+func TestL2DisabledByDefault(t *testing.T) {
+	h := New(ScaledConfig())
+	if h.l2 != nil {
+		t.Error("default configuration must not have an L2")
+	}
+	h.Access(0x1000, 8)
+	if h.Counts().L2Hits != 0 {
+		t.Error("phantom L2 hits")
+	}
+}

@@ -1,0 +1,80 @@
+// Package callstack tracks the dynamic call stack of a simulated program
+// and produces the call-stack signatures that calling-context-based
+// techniques (HALO, and the prior work surveyed in §2.2) use to identify
+// allocation contexts.
+//
+// A signature is a 64-bit hash over the sequence of function ids currently
+// on the stack. Identical stacks always produce identical signatures — the
+// very property that makes calling contexts imprecise for hot-object
+// detection: every allocation executed under the same stack is
+// indistinguishable (paper Figure 3).
+package callstack
+
+import "prefix/internal/mem"
+
+// Stack is a dynamic call stack. The zero value is an empty stack rooted
+// at an implicit "main".
+type Stack struct {
+	frames []mem.FuncID
+	sigs   []mem.StackSig // running signature per depth, so Sig is O(1)
+}
+
+const (
+	fnv64Offset = 0xcbf29ce484222325
+	fnv64Prime  = 0x100000001b3
+)
+
+// Push enters a function.
+func (s *Stack) Push(fn mem.FuncID) {
+	prev := mem.StackSig(fnv64Offset)
+	if n := len(s.sigs); n > 0 {
+		prev = s.sigs[n-1]
+	}
+	h := uint64(prev)
+	v := uint64(fn)
+	for i := 0; i < 4; i++ {
+		h ^= v & 0xff
+		h *= fnv64Prime
+		v >>= 8
+	}
+	s.frames = append(s.frames, fn)
+	s.sigs = append(s.sigs, mem.StackSig(h))
+}
+
+// Pop leaves the current function. Popping an empty stack is a no-op so a
+// mismatched workload cannot corrupt the tracker.
+func (s *Stack) Pop() {
+	if n := len(s.frames); n > 0 {
+		s.frames = s.frames[:n-1]
+		s.sigs = s.sigs[:n-1]
+	}
+}
+
+// Depth returns the number of frames.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// Sig returns the signature of the current stack. The empty stack has the
+// FNV offset basis as its signature.
+func (s *Stack) Sig() mem.StackSig {
+	if n := len(s.sigs); n > 0 {
+		return s.sigs[n-1]
+	}
+	return mem.StackSig(fnv64Offset)
+}
+
+// Frames returns a copy of the current frames, outermost first.
+func (s *Stack) Frames() []mem.FuncID {
+	out := make([]mem.FuncID, len(s.frames))
+	copy(out, s.frames)
+	return out
+}
+
+// SigOf computes the signature of an explicit frame sequence; analyses use
+// it to reason about hypothetical contexts without a live Stack.
+func SigOf(frames []mem.FuncID) mem.StackSig {
+	var s Stack
+	for _, f := range frames {
+		s.Push(f)
+	}
+	return s.Sig()
+}

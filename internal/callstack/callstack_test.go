@@ -1,0 +1,122 @@
+package callstack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefix/internal/mem"
+)
+
+func TestPushPopDepth(t *testing.T) {
+	var s Stack
+	if s.Depth() != 0 {
+		t.Fatal("empty stack depth != 0")
+	}
+	s.Push(1)
+	s.Push(2)
+	if s.Depth() != 2 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+	s.Pop()
+	if s.Depth() != 1 {
+		t.Fatalf("depth = %d", s.Depth())
+	}
+	s.Pop()
+	s.Pop() // underflow is a no-op
+	if s.Depth() != 0 {
+		t.Fatal("underflow corrupted depth")
+	}
+}
+
+func TestSigDeterministic(t *testing.T) {
+	var a, b Stack
+	for _, fn := range []mem.FuncID{1, 2, 3} {
+		a.Push(fn)
+		b.Push(fn)
+	}
+	if a.Sig() != b.Sig() {
+		t.Error("identical stacks must share a signature")
+	}
+}
+
+func TestSigRestoredAfterPop(t *testing.T) {
+	var s Stack
+	s.Push(1)
+	sig1 := s.Sig()
+	s.Push(2)
+	s.Pop()
+	if s.Sig() != sig1 {
+		t.Error("signature not restored after pop")
+	}
+}
+
+func TestSigOrderMatters(t *testing.T) {
+	if SigOf([]mem.FuncID{1, 2}) == SigOf([]mem.FuncID{2, 1}) {
+		t.Error("stack order must affect signature")
+	}
+}
+
+func TestSigDepthMatters(t *testing.T) {
+	if SigOf([]mem.FuncID{1}) == SigOf([]mem.FuncID{1, 1}) {
+		t.Error("recursion depth must affect signature")
+	}
+}
+
+func TestEmptySig(t *testing.T) {
+	var s Stack
+	if s.Sig() != SigOf(nil) {
+		t.Error("empty stack signature mismatch")
+	}
+}
+
+func TestFramesCopy(t *testing.T) {
+	var s Stack
+	s.Push(1)
+	s.Push(2)
+	f := s.Frames()
+	if len(f) != 2 || f[0] != 1 || f[1] != 2 {
+		t.Fatalf("frames = %v", f)
+	}
+	f[0] = 99
+	if s.Frames()[0] != 1 {
+		t.Error("Frames must return a copy")
+	}
+}
+
+// TestNoCollisionsSmallSets verifies distinct short stacks get distinct
+// signatures — the precision calling-context techniques rely on.
+func TestNoCollisionsSmallSets(t *testing.T) {
+	seen := make(map[mem.StackSig][]mem.FuncID)
+	for a := mem.FuncID(1); a <= 20; a++ {
+		for b := mem.FuncID(0); b <= 20; b++ {
+			frames := []mem.FuncID{a}
+			if b != 0 {
+				frames = append(frames, b)
+			}
+			sig := SigOf(frames)
+			if prev, dup := seen[sig]; dup {
+				t.Fatalf("collision: %v and %v -> %v", prev, frames, sig)
+			}
+			seen[sig] = frames
+		}
+	}
+}
+
+// TestSigMatchesRebuild: property — pushing the frames of any stack into
+// a fresh stack reproduces the signature (the "identical call stacks are
+// indistinguishable" property that pollutes HALO pools).
+func TestSigMatchesRebuild(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var s Stack
+		frames := make([]mem.FuncID, 0, len(raw))
+		for _, r := range raw {
+			fn := mem.FuncID(r)
+			s.Push(fn)
+			frames = append(frames, fn)
+		}
+		return s.Sig() == SigOf(frames)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

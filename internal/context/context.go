@@ -1,0 +1,232 @@
+// Package context implements PreFix's new context definition (§2.2.1):
+// identifying hot dynamic objects by (static malloc site, dynamic
+// allocation instance) instead of by calling context.
+//
+// For each malloc site that allocates hot objects the package inspects the
+// hot instance ids and classifies them into one of the paper's three
+// pattern categories:
+//
+//	Fixed   — an explicit small set of instances, e.g. {1, 3, 8};
+//	Regular — an arithmetic progression, e.g. {1, 3, 5, …, 15};
+//	All     — every instance the site allocates is hot.
+//
+// It also discovers counter-sharing opportunities: multiple sites that
+// allocate in tandem can share one runtime counter if, when their
+// allocation events are merged in trace order, the hot ids under the
+// shared counter still follow a supported pattern (§2.2.1: "sharing is
+// simulated over the allocation trace").
+package context
+
+import (
+	"fmt"
+	"sort"
+
+	"prefix/internal/mem"
+)
+
+// PatternKind is the paper's category of object-id patterns.
+type PatternKind uint8
+
+const (
+	// KindFixed matches an explicit set of instance ids.
+	KindFixed PatternKind = iota + 1
+	// KindRegular matches an arithmetic progression of instance ids.
+	KindRegular
+	// KindAll matches every instance.
+	KindAll
+)
+
+func (k PatternKind) String() string {
+	switch k {
+	case KindFixed:
+		return "fixed"
+	case KindRegular:
+		return "regular"
+	case KindAll:
+		return "all"
+	default:
+		return fmt.Sprintf("PatternKind(%d)", uint8(k))
+	}
+}
+
+// Pattern matches dynamic instance ids. Exactly one representation is
+// active depending on Kind.
+type Pattern struct {
+	Kind PatternKind
+	// Fixed set, sorted ascending (KindFixed).
+	Set []mem.Instance
+	// Arithmetic progression Start, Start+Step, … for Count terms
+	// (KindRegular).
+	Start mem.Instance
+	Step  mem.Instance
+	Count uint64
+
+	fixed map[mem.Instance]bool // lazy lookup index for KindFixed
+}
+
+// Matches reports whether instance id is matched by the pattern. This is
+// the runtime "Hot Object Check" of Figure 4; it is O(1).
+func (p *Pattern) Matches(id mem.Instance) bool {
+	switch p.Kind {
+	case KindAll:
+		return true
+	case KindRegular:
+		if id < p.Start || p.Step == 0 {
+			return p.Step == 0 && id == p.Start && p.Count > 0
+		}
+		d := id - p.Start
+		if d%p.Step != 0 {
+			return false
+		}
+		return uint64(d/p.Step) < p.Count
+	case KindFixed:
+		if p.fixed == nil {
+			p.fixed = make(map[mem.Instance]bool, len(p.Set))
+			for _, v := range p.Set {
+				p.fixed[v] = true
+			}
+		}
+		return p.fixed[id]
+	default:
+		return false
+	}
+}
+
+// CheckInstr is the modeled dynamic instruction cost of one pattern check
+// at a malloc site (counter bump + compare/lookup). The paper's Table 1
+// calls this "limited lightweight instrumentation".
+func (p *Pattern) CheckInstr() uint64 {
+	switch p.Kind {
+	case KindAll:
+		return 2 // counter bump + unconditional placement
+	case KindRegular:
+		return 5 // bump, sub, mod, bound check
+	case KindFixed:
+		return 6 // bump + hash/table probe
+	default:
+		return 0
+	}
+}
+
+// Size returns how many instances the pattern matches (Count semantics
+// for All are "unbounded", reported as 0).
+func (p *Pattern) Size() uint64 {
+	switch p.Kind {
+	case KindFixed:
+		return uint64(len(p.Set))
+	case KindRegular:
+		return p.Count
+	default:
+		return 0
+	}
+}
+
+// Infer classifies hot instance ids for one site. hot must be sorted
+// ascending and non-empty; total is the site's total dynamic allocation
+// count in the profile.
+func Infer(hot []mem.Instance, total uint64) (Pattern, error) {
+	if len(hot) == 0 {
+		return Pattern{}, fmt.Errorf("context: no hot instances")
+	}
+	if !sort.SliceIsSorted(hot, func(i, j int) bool { return hot[i] < hot[j] }) {
+		return Pattern{}, fmt.Errorf("context: hot instances not sorted")
+	}
+	// All: the site only ever allocates hot objects.
+	if uint64(len(hot)) == total && isContiguousFromOne(hot) {
+		return Pattern{Kind: KindAll}, nil
+	}
+	// Regular: arithmetic progression with at least 3 terms and step ≥ 2
+	// (a contiguous block of ids is a Fixed set in the paper's taxonomy;
+	// Regular captures strided patterns like {1,3,5,…,15}).
+	if len(hot) >= 3 {
+		step := hot[1] - hot[0]
+		if step > 1 {
+			regular := true
+			for i := 2; i < len(hot); i++ {
+				if hot[i]-hot[i-1] != step {
+					regular = false
+					break
+				}
+			}
+			if regular {
+				return Pattern{
+					Kind:  KindRegular,
+					Start: hot[0],
+					Step:  step,
+					Count: uint64(len(hot)),
+				}, nil
+			}
+		}
+	}
+	// Fixed: explicit set.
+	return Pattern{Kind: KindFixed, Set: append([]mem.Instance(nil), hot...)}, nil
+}
+
+func isContiguousFromOne(ids []mem.Instance) bool {
+	for i, v := range ids {
+		if v != mem.Instance(i+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is one runtime counter shared by one or more malloc sites, with
+// the pattern over the shared instance ids and the mapping from shared id
+// to the hot object it identifies.
+type Counter struct {
+	ID    int
+	Sites []mem.SiteID
+	Pattern
+	// HotIDs maps a matching shared instance id to the object (from the
+	// profiling trace) it identifies; the planner turns this into region
+	// offsets.
+	HotIDs map[mem.Instance]mem.ObjectID
+}
+
+// Assignment is the full context product for a program: every relevant
+// malloc site assigned to exactly one counter.
+type Assignment struct {
+	Counters []*Counter
+	// SiteCounter maps each instrumented site to its counter index.
+	SiteCounter map[mem.SiteID]int
+}
+
+// NumSites returns the number of instrumented malloc sites (the Table 2
+// "#sites" column).
+func (a *Assignment) NumSites() int { return len(a.SiteCounter) }
+
+// NumCounters returns the number of counters (Table 2 "#counters").
+func (a *Assignment) NumCounters() int { return len(a.Counters) }
+
+// Kinds returns the set of pattern kinds in use, for the Table 2 "type"
+// column, in a stable order.
+func (a *Assignment) Kinds() []PatternKind {
+	seen := make(map[PatternKind]bool)
+	for _, c := range a.Counters {
+		seen[c.Kind] = true
+	}
+	var out []PatternKind
+	for _, k := range []PatternKind{KindFixed, KindRegular, KindAll} {
+		if seen[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// KindsString renders Kinds like the paper's Table 2 ("fixed & all ids").
+func (a *Assignment) KindsString() string {
+	ks := a.Kinds()
+	if len(ks) == 0 {
+		return "none"
+	}
+	s := ""
+	for i, k := range ks {
+		if i > 0 {
+			s += " & "
+		}
+		s += k.String()
+	}
+	return s + " ids"
+}

@@ -1,0 +1,171 @@
+package context
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+func insts(vs ...uint64) []mem.Instance {
+	out := make([]mem.Instance, len(vs))
+	for i, v := range vs {
+		out[i] = mem.Instance(v)
+	}
+	return out
+}
+
+func TestInferAll(t *testing.T) {
+	p, err := Infer(insts(1, 2, 3, 4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindAll {
+		t.Errorf("kind = %v, want all", p.Kind)
+	}
+	for i := mem.Instance(1); i <= 100; i++ {
+		if !p.Matches(i) {
+			t.Fatalf("All must match %d", i)
+		}
+	}
+}
+
+func TestInferAllRequiresContiguityFromOne(t *testing.T) {
+	// 4 hot of 4 allocations but ids {2,3,4,5} cannot be All.
+	p, err := Infer(insts(2, 3, 4, 5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind == KindAll {
+		t.Error("non-1-based ids must not classify as All")
+	}
+}
+
+func TestInferRegular(t *testing.T) {
+	p, err := Infer(insts(1, 3, 5, 7, 9), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindRegular || p.Start != 1 || p.Step != 2 || p.Count != 5 {
+		t.Errorf("pattern = %+v", p)
+	}
+	for _, want := range insts(1, 3, 5, 7, 9) {
+		if !p.Matches(want) {
+			t.Errorf("regular must match %d", want)
+		}
+	}
+	for _, not := range insts(2, 4, 11, 0) {
+		if p.Matches(not) {
+			t.Errorf("regular must not match %d", not)
+		}
+	}
+}
+
+func TestInferContiguousIsFixed(t *testing.T) {
+	// A step-1 progression is a Fixed set in the paper's taxonomy.
+	p, err := Infer(insts(1, 2, 3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindFixed {
+		t.Errorf("kind = %v, want fixed", p.Kind)
+	}
+}
+
+func TestInferFixed(t *testing.T) {
+	p, err := Infer(insts(1, 3, 8), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != KindFixed {
+		t.Errorf("kind = %v", p.Kind)
+	}
+	if !p.Matches(1) || !p.Matches(3) || !p.Matches(8) || p.Matches(2) || p.Matches(9) {
+		t.Error("fixed matching wrong")
+	}
+	if p.Size() != 3 {
+		t.Errorf("size = %d", p.Size())
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(nil, 5); err == nil {
+		t.Error("empty hot set should error")
+	}
+	if _, err := Infer(insts(3, 1), 5); err == nil {
+		t.Error("unsorted input should error")
+	}
+}
+
+// TestPatternMatchesExactly: property — for any sorted id set, the
+// inferred pattern matches exactly the hot ids within the observed range.
+func TestPatternMatchesExactly(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		total := uint64(rng.Intn(50) + 1)
+		hotSet := make(map[mem.Instance]bool)
+		for i := uint64(1); i <= total; i++ {
+			if rng.Bool(0.4) {
+				hotSet[mem.Instance(i)] = true
+			}
+		}
+		if len(hotSet) == 0 {
+			hotSet[1] = true
+		}
+		var hot []mem.Instance
+		for i := uint64(1); i <= total; i++ {
+			if hotSet[mem.Instance(i)] {
+				hot = append(hot, mem.Instance(i))
+			}
+		}
+		p, err := Infer(hot, total)
+		if err != nil {
+			return false
+		}
+		for i := uint64(1); i <= total; i++ {
+			if p.Matches(mem.Instance(i)) != hotSet[mem.Instance(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckInstr(t *testing.T) {
+	all := Pattern{Kind: KindAll}
+	reg := Pattern{Kind: KindRegular, Start: 1, Step: 2, Count: 3}
+	fix := Pattern{Kind: KindFixed, Set: insts(1)}
+	if !(all.CheckInstr() < reg.CheckInstr() && reg.CheckInstr() < fix.CheckInstr()+1) {
+		t.Error("check costs should order all <= regular <= fixed")
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	if KindFixed.String() != "fixed" || KindRegular.String() != "regular" || KindAll.String() != "all" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestAssignmentKinds(t *testing.T) {
+	a := &Assignment{
+		Counters: []*Counter{
+			{Pattern: Pattern{Kind: KindAll}},
+			{Pattern: Pattern{Kind: KindFixed}},
+		},
+		SiteCounter: map[mem.SiteID]int{1: 0, 2: 1},
+	}
+	if a.KindsString() != "fixed & all ids" {
+		t.Errorf("kinds = %q", a.KindsString())
+	}
+	if a.NumSites() != 2 || a.NumCounters() != 2 {
+		t.Error("counts wrong")
+	}
+	empty := &Assignment{}
+	if empty.KindsString() != "none" {
+		t.Errorf("empty kinds = %q", empty.KindsString())
+	}
+}

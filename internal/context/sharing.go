@@ -1,0 +1,219 @@
+package context
+
+import (
+	"fmt"
+	"sort"
+
+	"prefix/internal/mem"
+)
+
+// AllocRecord is one allocation event from the profiling trace, in trace
+// order: which site allocated, which dynamic object resulted, and whether
+// that object is in the hot set.
+type AllocRecord struct {
+	Site   mem.SiteID
+	Object mem.ObjectID
+	Hot    bool
+}
+
+// ShareConfig tunes counter-sharing discovery.
+type ShareConfig struct {
+	// Disabled turns counter sharing off entirely: every hot site gets
+	// its own counter (the ablation baseline for §2.2.1's sharing).
+	Disabled bool
+	// MaxFixed is the largest Fixed set a shared counter may carry.
+	MaxFixed int
+	// MaxRuns is the largest number of maximal consecutive-id runs a
+	// shared Fixed set may have: sites that allocate hot objects in
+	// tandem produce a single run under a shared counter, whereas
+	// unrelated sites fragment the id space and are kept separate.
+	MaxRuns int
+	// MaxTandemRun bounds how many consecutive allocations one site may
+	// contribute to a shared counter's merged sequence. Counter sharing
+	// is only safe for sites that "work in tandem" (§2.2.1): if one site
+	// allocates a long block on its own, the shared ids of the other
+	// sites depend on that block's length, which input scaling would
+	// shift — so such groups are rejected even when the merged ids
+	// happen to form a pattern.
+	MaxTandemRun int
+}
+
+// DefaultShareConfig matches the behaviour described in §2.2.1: sharing
+// is employed only when the merged ids still "reveal a pattern" — a
+// contiguous fixed run, an arithmetic progression, or all ids.
+func DefaultShareConfig() ShareConfig {
+	return ShareConfig{MaxFixed: 4096, MaxRuns: 1, MaxTandemRun: 4}
+}
+
+// BuildAssignment derives the full context product from the profile: it
+// partitions the hot malloc sites into counter groups (simulating counter
+// sharing over the allocation trace, exactly as the paper prescribes),
+// infers the id pattern of every counter, and records which shared
+// instance id identifies which hot object.
+func BuildAssignment(allocs []AllocRecord, cfg ShareConfig) (*Assignment, error) {
+	if cfg.MaxFixed <= 0 {
+		cfg.MaxFixed = 4096
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 1
+	}
+	if cfg.MaxTandemRun <= 0 {
+		cfg.MaxTandemRun = 4
+	}
+
+	// Hot sites in order of their first hot allocation: tandem sites are
+	// adjacent in this order.
+	firstHot := make(map[mem.SiteID]int)
+	for i, a := range allocs {
+		if a.Hot {
+			if _, ok := firstHot[a.Site]; !ok {
+				firstHot[a.Site] = i
+			}
+		}
+	}
+	if len(firstHot) == 0 {
+		return &Assignment{SiteCounter: map[mem.SiteID]int{}}, nil
+	}
+	sites := make([]mem.SiteID, 0, len(firstHot))
+	for s := range firstHot {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if firstHot[sites[i]] != firstHot[sites[j]] {
+			return firstHot[sites[i]] < firstHot[sites[j]]
+		}
+		return sites[i] < sites[j]
+	})
+
+	asn := &Assignment{SiteCounter: make(map[mem.SiteID]int)}
+	if cfg.Disabled {
+		for _, s := range sites {
+			if err := asn.closeGroup(allocs, []mem.SiteID{s}, cfg); err != nil {
+				return nil, err
+			}
+		}
+		return asn, nil
+	}
+	group := []mem.SiteID{sites[0]}
+	for _, s := range sites[1:] {
+		candidate := append(append([]mem.SiteID(nil), group...), s)
+		if _, _, ok := simulateShared(allocs, candidate, cfg); ok {
+			group = candidate
+			continue
+		}
+		if err := asn.closeGroup(allocs, group, cfg); err != nil {
+			return nil, err
+		}
+		group = []mem.SiteID{s}
+	}
+	if err := asn.closeGroup(allocs, group, cfg); err != nil {
+		return nil, err
+	}
+	return asn, nil
+}
+
+// closeGroup finalizes one counter group.
+func (a *Assignment) closeGroup(allocs []AllocRecord, group []mem.SiteID, cfg ShareConfig) error {
+	pat, hotIDs, ok := simulateShared(allocs, group, cfg)
+	if !ok && len(group) > 1 {
+		return fmt.Errorf("context: internal error: accepted group %v fails simulation", group)
+	}
+	if !ok {
+		// Single site whose ids exceed the Fixed cap: degrade to an
+		// explicit (large) fixed set rather than dropping the site.
+		var hot []mem.Instance
+		hotIDs = make(map[mem.Instance]mem.ObjectID)
+		var n mem.Instance
+		for _, r := range allocs {
+			if r.Site != group[0] {
+				continue
+			}
+			n++
+			if r.Hot {
+				hot = append(hot, n)
+				hotIDs[n] = r.Object
+			}
+		}
+		p, err := Infer(hot, uint64(n))
+		if err != nil {
+			return err
+		}
+		pat = p
+	}
+	c := &Counter{
+		ID:      len(a.Counters),
+		Sites:   append([]mem.SiteID(nil), group...),
+		Pattern: pat,
+		HotIDs:  hotIDs,
+	}
+	a.Counters = append(a.Counters, c)
+	for _, s := range group {
+		a.SiteCounter[s] = c.ID
+	}
+	return nil
+}
+
+// simulateShared replays the allocation trace with one counter shared by
+// the given sites and reports whether the hot ids form an acceptable
+// pattern.
+func simulateShared(allocs []AllocRecord, sites []mem.SiteID, cfg ShareConfig) (Pattern, map[mem.Instance]mem.ObjectID, bool) {
+	member := make(map[mem.SiteID]bool, len(sites))
+	for _, s := range sites {
+		member[s] = true
+	}
+	var counter mem.Instance
+	var hot []mem.Instance
+	hotIDs := make(map[mem.Instance]mem.ObjectID)
+	var lastSite mem.SiteID
+	sameRun := 0
+	for _, r := range allocs {
+		if !member[r.Site] {
+			continue
+		}
+		counter++
+		if len(sites) > 1 {
+			if r.Site == lastSite {
+				sameRun++
+				if sameRun > cfg.MaxTandemRun {
+					return Pattern{}, nil, false // sites not in tandem
+				}
+			} else {
+				lastSite, sameRun = r.Site, 1
+			}
+		}
+		if r.Hot {
+			hot = append(hot, counter)
+			hotIDs[counter] = r.Object
+		}
+	}
+	if len(hot) == 0 {
+		return Pattern{}, nil, false
+	}
+	pat, err := Infer(hot, uint64(counter))
+	if err != nil {
+		return Pattern{}, nil, false
+	}
+	switch pat.Kind {
+	case KindAll, KindRegular:
+		return pat, hotIDs, true
+	case KindFixed:
+		if len(pat.Set) <= cfg.MaxFixed && runs(pat.Set) <= cfg.MaxRuns {
+			return pat, hotIDs, true
+		}
+	}
+	return Pattern{}, nil, false
+}
+
+// runs counts maximal consecutive-integer stretches in a sorted id set.
+func runs(set []mem.Instance) int {
+	if len(set) == 0 {
+		return 0
+	}
+	n := 1
+	for i := 1; i < len(set); i++ {
+		if set[i] != set[i-1]+1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+package context
+
+import (
+	"testing"
+
+	"prefix/internal/mem"
+)
+
+// rec builds an AllocRecord.
+func rec(site mem.SiteID, obj mem.ObjectID, hot bool) AllocRecord {
+	return AllocRecord{Site: site, Object: obj, Hot: hot}
+}
+
+func TestBuildAssignmentEmpty(t *testing.T) {
+	a, err := BuildAssignment([]AllocRecord{rec(1, 1, false)}, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters() != 0 || a.NumSites() != 0 {
+		t.Error("no hot allocations should produce no counters")
+	}
+}
+
+func TestTandemSitesShareCounter(t *testing.T) {
+	// The mcf shape: three sites allocate in rounds; round 0 is hot.
+	var allocs []AllocRecord
+	obj := mem.ObjectID(1)
+	for round := 0; round < 5; round++ {
+		for site := mem.SiteID(1); site <= 3; site++ {
+			allocs = append(allocs, rec(site, obj, round == 0))
+			obj++
+		}
+	}
+	a, err := BuildAssignment(allocs, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters() != 1 {
+		t.Fatalf("counters = %d, want 1 (tandem sharing)", a.NumCounters())
+	}
+	c := a.Counters[0]
+	if c.Kind != KindFixed {
+		t.Errorf("kind = %v", c.Kind)
+	}
+	// Shared ids of the three hot objects are {1,2,3}.
+	for id := mem.Instance(1); id <= 3; id++ {
+		if _, ok := c.HotIDs[id]; !ok {
+			t.Errorf("shared id %d missing", id)
+		}
+	}
+}
+
+func TestTwoPhaseGroupsGetTwoCounters(t *testing.T) {
+	// Two tandem groups separated in time: shared ids would fragment, so
+	// they must not merge (the mcf "(6, 2)" shape).
+	var allocs []AllocRecord
+	obj := mem.ObjectID(1)
+	addGroup := func(base mem.SiteID) {
+		for round := 0; round < 5; round++ {
+			for s := base; s < base+3; s++ {
+				allocs = append(allocs, rec(s, obj, round == 0))
+				obj++
+			}
+		}
+	}
+	addGroup(1)
+	addGroup(4)
+	a, err := BuildAssignment(allocs, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters() != 2 {
+		t.Fatalf("counters = %d, want 2", a.NumCounters())
+	}
+	if a.NumSites() != 6 {
+		t.Errorf("sites = %d, want 6", a.NumSites())
+	}
+}
+
+func TestBlockAllocationsDoNotShare(t *testing.T) {
+	// Two all-hot sites allocating in long blocks (not tandem): merging
+	// would form an "All" pattern, but the block structure is input-size
+	// dependent, so the tandem-run guard must keep them apart.
+	var allocs []AllocRecord
+	obj := mem.ObjectID(1)
+	for i := 0; i < 20; i++ {
+		allocs = append(allocs, rec(1, obj, true))
+		obj++
+	}
+	for i := 0; i < 20; i++ {
+		allocs = append(allocs, rec(2, obj, true))
+		obj++
+	}
+	a, err := BuildAssignment(allocs, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters() != 2 {
+		t.Fatalf("counters = %d, want 2 (block sites must not share)", a.NumCounters())
+	}
+	for _, c := range a.Counters {
+		if c.Kind != KindAll {
+			t.Errorf("kind = %v, want all", c.Kind)
+		}
+	}
+}
+
+func TestInterleavedAllHotShare(t *testing.T) {
+	// Pairwise interleaved all-hot sites (the health patient/cell shape)
+	// share one All counter.
+	var allocs []AllocRecord
+	obj := mem.ObjectID(1)
+	for i := 0; i < 20; i++ {
+		allocs = append(allocs, rec(1, obj, true))
+		obj++
+		allocs = append(allocs, rec(2, obj, true))
+		obj++
+	}
+	a, err := BuildAssignment(allocs, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters() != 1 || a.Counters[0].Kind != KindAll {
+		t.Fatalf("want one shared All counter, got %d (%v)", a.NumCounters(), a.Counters[0].Kind)
+	}
+}
+
+func TestAlternatingHotGivesRegular(t *testing.T) {
+	// One site allocating header (hot), body (cold) pairs: Regular ids.
+	var allocs []AllocRecord
+	obj := mem.ObjectID(1)
+	for i := 0; i < 10; i++ {
+		allocs = append(allocs, rec(1, obj, true))
+		obj++
+		allocs = append(allocs, rec(1, obj, false))
+		obj++
+	}
+	a, err := BuildAssignment(allocs, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters() != 1 {
+		t.Fatalf("counters = %d", a.NumCounters())
+	}
+	c := a.Counters[0]
+	if c.Kind != KindRegular || c.Pattern.Step != 2 {
+		t.Errorf("pattern = %+v", c.Pattern)
+	}
+}
+
+func TestDegradeToLargeFixed(t *testing.T) {
+	// Hot ids with many runs exceed MaxRuns but a single site must still
+	// be instrumented (degraded explicit fixed set).
+	var allocs []AllocRecord
+	obj := mem.ObjectID(1)
+	for i := 1; i <= 30; i++ {
+		hot := i%5 == 1 || i%7 == 0 // irregular
+		allocs = append(allocs, rec(1, obj, hot))
+		obj++
+	}
+	a, err := BuildAssignment(allocs, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCounters() != 1 {
+		t.Fatalf("counters = %d", a.NumCounters())
+	}
+	if a.Counters[0].Kind != KindFixed {
+		t.Errorf("kind = %v", a.Counters[0].Kind)
+	}
+}
+
+func TestHotIDsMapToObjects(t *testing.T) {
+	allocs := []AllocRecord{
+		rec(1, 100, false),
+		rec(1, 101, true),
+		rec(1, 102, false),
+		rec(1, 103, true),
+	}
+	a, err := BuildAssignment(allocs, DefaultShareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Counters[0]
+	if c.HotIDs[2] != 101 || c.HotIDs[4] != 103 {
+		t.Errorf("hot ids = %v", c.HotIDs)
+	}
+}
+
+func TestRuns(t *testing.T) {
+	if runs(nil) != 0 {
+		t.Error("empty runs")
+	}
+	if runs(insts(1, 2, 3)) != 1 {
+		t.Error("contiguous should be 1 run")
+	}
+	if runs(insts(1, 2, 5, 6, 9)) != 3 {
+		t.Error("expected 3 runs")
+	}
+}

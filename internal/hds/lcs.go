@@ -1,0 +1,161 @@
+package hds
+
+import (
+	"prefix/internal/mem"
+)
+
+// The LCS miner is the paper's replacement for Sequitur (§3.1): split the
+// hot reference string into fixed-length windows and compute the Longest
+// Common Subsequence between neighbouring windows. A subsequence common to
+// two separate stretches of the trace is, by construction, a repeated
+// access pattern — a hot data stream candidate. Candidates discovered from
+// many window pairs accumulate heat and rise in the OHDS ranking.
+
+// LCS computes a longest common subsequence of a and b with the classic
+// O(len(a)·len(b)) dynamic program. Deterministic: on ties it prefers
+// advancing b, so equal inputs yield equal outputs across runs.
+func LCS(a, b []mem.ObjectID) []mem.ObjectID {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// dp is (n+1)×(m+1) flattened.
+	dp := make([]uint32, (n+1)*(m+1))
+	at := func(i, j int) uint32 { return dp[i*(m+1)+j] }
+	set := func(i, j int, v uint32) { dp[i*(m+1)+j] = v }
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if a[i-1] == b[j-1] {
+				set(i, j, at(i-1, j-1)+1)
+			} else if at(i-1, j) >= at(i, j-1) {
+				set(i, j, at(i-1, j))
+			} else {
+				set(i, j, at(i, j-1))
+			}
+		}
+	}
+	out := make([]mem.ObjectID, at(n, m))
+	k := len(out)
+	for i, j := n, m; i > 0 && j > 0; {
+		switch {
+		case a[i-1] == b[j-1]:
+			k--
+			out[k] = a[i-1]
+			i--
+			j--
+		case at(i-1, j) >= at(i, j-1):
+			i--
+		default:
+			j--
+		}
+	}
+	return out
+}
+
+// MineLCS mines hot data streams from a (hot-filtered, collapsed)
+// reference string using windowed LCS.
+func MineLCS(refs []mem.ObjectID, cfg Config) []Stream {
+	w := cfg.Window
+	if w <= 0 {
+		w = 64
+	}
+	if len(refs) < 2*w {
+		// Short profile: one LCS of the two halves still finds the
+		// repeating core.
+		half := len(refs) / 2
+		if half < cfg.MinLength {
+			return nil
+		}
+		sub := LCS(refs[:half], refs[half:])
+		if len(dedupeOrdered(append([]mem.ObjectID(nil), sub...))) < cfg.MinLength {
+			return nil
+		}
+		return rankAndTrim([]Stream{{Objects: sub, Heat: 2 * uint64(len(sub))}}, cfg)
+	}
+
+	// Candidate accumulation across window pairs at multiple lags.
+	type acc struct {
+		stream Stream
+		count  uint64
+	}
+	cands := make(map[string]*acc)
+	var order []string
+
+	lags := cfg.Lags
+	if len(lags) == 0 {
+		lags = []int{1}
+	}
+	windows := len(refs) / w
+	// Bound total LCS work: long profiles are sampled by striding the
+	// anchor window. Each LCS is O(W²), so ~20k pairs keeps mining fast
+	// regardless of trace length.
+	const maxPairs = 20000
+	step := 1
+	if windows*len(lags) > maxPairs {
+		step = (windows*len(lags) + maxPairs - 1) / maxPairs
+	}
+	for i := 0; i < windows; i += step {
+		a := refs[i*w : (i+1)*w]
+		for _, lag := range lags {
+			j := i + lag
+			if j >= windows {
+				break
+			}
+			b := refs[j*w : (j+1)*w]
+			sub := LCS(a, b)
+			members := dedupeOrdered(append([]mem.ObjectID(nil), sub...))
+			if len(members) < cfg.MinLength {
+				continue
+			}
+			s := Stream{Objects: members}
+			k := s.Key()
+			if c, ok := cands[k]; ok {
+				c.count++
+			} else {
+				cands[k] = &acc{stream: s, count: 1}
+				order = append(order, k)
+			}
+		}
+	}
+
+	var out []Stream
+	for _, k := range order {
+		c := cands[k]
+		freq := c.count + 1 // a match between two windows = 2 occurrences
+		if int(freq) < cfg.MinFrequency {
+			continue
+		}
+		s := c.stream
+		s.Heat = freq * uint64(len(s.Objects))
+		out = append(out, s)
+	}
+	return rankAndTrim(out, cfg)
+}
+
+// WeighByAccesses rescales stream heat by the total access counts of the
+// member objects, producing the "descending order of memory references"
+// ranking Algorithm 1 expects. accesses maps object → access count from
+// the trace analysis.
+func WeighByAccesses(streams []Stream, accesses map[mem.ObjectID]uint64) []Stream {
+	out := make([]Stream, len(streams))
+	copy(out, streams)
+	for i := range out {
+		var total uint64
+		for _, o := range out[i].Objects {
+			total += accesses[o]
+		}
+		out[i].Heat = total
+	}
+	// Stable to preserve miner order on ties.
+	sortStreamsByHeat(out)
+	return out
+}
+
+func sortStreamsByHeat(s []Stream) {
+	// simple stable insertion by heat desc (stream lists are small)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Heat > s[j-1].Heat; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

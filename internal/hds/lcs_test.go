@@ -1,0 +1,143 @@
+package hds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+func TestLCSKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b, want []mem.ObjectID
+	}{
+		{ids(1, 2, 3), ids(1, 2, 3), ids(1, 2, 3)},
+		{ids(1, 2, 3), ids(4, 5, 6), nil},
+		{ids(1, 2, 3, 4), ids(2, 4), ids(2, 4)},
+		{ids(1, 3, 5, 7), ids(0, 3, 0, 7), ids(3, 7)},
+		{nil, ids(1), nil},
+	}
+	for _, c := range cases {
+		got := LCS(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("LCS(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("LCS(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+// isSubsequence reports whether sub appears in seq in order.
+func isSubsequence(sub, seq []mem.ObjectID) bool {
+	j := 0
+	for _, v := range seq {
+		if j < len(sub) && sub[j] == v {
+			j++
+		}
+	}
+	return j == len(sub)
+}
+
+// bruteLCSLen computes LCS length exponentially for tiny inputs.
+func bruteLCSLen(a, b []mem.ObjectID) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if a[0] == b[0] {
+		return 1 + bruteLCSLen(a[1:], b[1:])
+	}
+	x := bruteLCSLen(a[1:], b)
+	if y := bruteLCSLen(a, b[1:]); y > x {
+		x = y
+	}
+	return x
+}
+
+// TestLCSProperties: the result is a common subsequence with the optimal
+// length (verified against a brute-force oracle for small inputs).
+func TestLCSProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n, m := rng.Intn(9)+1, rng.Intn(9)+1
+		a := make([]mem.ObjectID, n)
+		b := make([]mem.ObjectID, m)
+		for i := range a {
+			a[i] = mem.ObjectID(rng.Intn(4) + 1)
+		}
+		for i := range b {
+			b[i] = mem.ObjectID(rng.Intn(4) + 1)
+		}
+		got := LCS(a, b)
+		if !isSubsequence(got, a) || !isSubsequence(got, b) {
+			return false
+		}
+		return len(got) == bruteLCSLen(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineLCSAdjacentRepetition(t *testing.T) {
+	// The pattern (1..6) repeats continuously: adjacent windows share it.
+	var refs []mem.ObjectID
+	for i := 0; i < 200; i++ {
+		for v := uint64(1); v <= 6; v++ {
+			refs = append(refs, mem.ObjectID(v))
+		}
+	}
+	streams := MineLCS(refs, DefaultConfig())
+	if len(streams) == 0 {
+		t.Fatal("no streams")
+	}
+	top := streams[0]
+	if len(top.Objects) < 4 {
+		t.Errorf("top stream too short: %v", top.Objects)
+	}
+}
+
+func TestMineLCSLongPeriod(t *testing.T) {
+	// Period of ~8 windows: groups of 16 objects visited in a cycle of
+	// 32 groups (512 objects, 8192-ref period with 16 refs per group).
+	var refs []mem.ObjectID
+	const groups = 32
+	for rep := 0; rep < 6; rep++ {
+		for g := 0; g < groups; g++ {
+			for k := 0; k < 16; k++ {
+				refs = append(refs, mem.ObjectID(g*16+k+1))
+			}
+		}
+	}
+	streams := MineLCS(refs, DefaultConfig())
+	if len(streams) == 0 {
+		t.Fatal("multi-lag mining failed on long-period pattern")
+	}
+}
+
+func TestMineLCSShortInput(t *testing.T) {
+	refs := ids(1, 2, 3, 1, 2, 3)
+	streams := MineLCS(refs, Config{MinLength: 2, MinFrequency: 2, Window: 64, MaxStreams: 4})
+	if len(streams) == 0 {
+		t.Fatal("short-input path found nothing")
+	}
+	if !streams[0].Contains(1) || !streams[0].Contains(2) {
+		t.Errorf("stream = %v", streams[0].Objects)
+	}
+}
+
+func TestMineLCSNoise(t *testing.T) {
+	rng := xrand.New(99)
+	refs := make([]mem.ObjectID, 4000)
+	for i := range refs {
+		refs[i] = mem.ObjectID(rng.Uint64n(1 << 40)) // essentially unique
+	}
+	streams := MineLCS(refs, DefaultConfig())
+	if len(streams) != 0 {
+		t.Errorf("pure noise produced %d streams", len(streams))
+	}
+}

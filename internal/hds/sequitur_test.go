@@ -1,0 +1,120 @@
+package hds
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+func feed(s *Sequitur, seq []mem.ObjectID) {
+	for _, v := range seq {
+		s.Append(v)
+	}
+}
+
+func TestSequiturLossless(t *testing.T) {
+	inputs := [][]mem.ObjectID{
+		ids(1),
+		ids(1, 2, 3),
+		ids(1, 2, 1, 2),
+		ids(1, 2, 3, 1, 2, 3, 1, 2, 3),
+		ids(1, 1, 1, 1, 1, 1),
+		ids(1, 2, 1, 2, 3, 1, 2, 1, 2, 3),
+	}
+	for _, in := range inputs {
+		s := NewSequitur()
+		feed(s, in)
+		got := s.Expansion()
+		if len(got) != len(in) {
+			t.Fatalf("expansion of %v = %v", in, got)
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				t.Fatalf("expansion of %v = %v", in, got)
+			}
+		}
+	}
+}
+
+// TestSequiturLosslessRandom: property — grammar inference never loses or
+// reorders symbols, for random strings over small alphabets (which force
+// heavy rule creation).
+func TestSequiturLosslessRandom(t *testing.T) {
+	f := func(seed uint64, alphaBits uint8) bool {
+		rng := xrand.New(seed)
+		alpha := int(alphaBits%6) + 2
+		in := make([]mem.ObjectID, 500)
+		for i := range in {
+			in[i] = mem.ObjectID(rng.Intn(alpha) + 1)
+		}
+		s := NewSequitur()
+		feed(s, in)
+		got := s.Expansion()
+		if len(got) != len(in) {
+			return false
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequiturFindsRepeatedPhrase(t *testing.T) {
+	// The phrase (10,20,30) repeats eight times separated by noise.
+	var in []mem.ObjectID
+	for i := 0; i < 8; i++ {
+		in = append(in, 10, 20, 30, mem.ObjectID(100+i))
+	}
+	s := NewSequitur()
+	feed(s, in)
+	streams := s.Streams(Config{MinLength: 2, MinFrequency: 2, MaxStreams: 16})
+	if len(streams) == 0 {
+		t.Fatal("no streams found")
+	}
+	found := false
+	for _, st := range streams {
+		if st.Contains(10) && st.Contains(20) && st.Contains(30) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("repeated phrase not detected: %+v", streams)
+	}
+}
+
+func TestSequiturNoStreamsInUniqueString(t *testing.T) {
+	var in []mem.ObjectID
+	for i := 1; i <= 200; i++ {
+		in = append(in, mem.ObjectID(i))
+	}
+	streams := MineSequitur(in, DefaultConfig())
+	if len(streams) != 0 {
+		t.Errorf("unique string produced streams: %+v", streams)
+	}
+}
+
+func TestMineSequiturPeriodic(t *testing.T) {
+	// A strictly periodic reference string: one dominant stream.
+	var in []mem.ObjectID
+	for i := 0; i < 50; i++ {
+		in = append(in, 1, 2, 3, 4)
+	}
+	streams := MineSequitur(in, DefaultConfig())
+	if len(streams) == 0 {
+		t.Fatal("periodic input produced no streams")
+	}
+	top := streams[0]
+	for _, want := range ids(1, 2, 3, 4) {
+		if !top.Contains(want) {
+			t.Errorf("top stream %v missing %v", top.Objects, want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package hotness selects the hot dynamic heap objects from a profiling
+// trace. The paper's Figure 1 observation is that a small number of
+// dynamic objects accounts for the bulk of heap accesses; the selector
+// here takes the smallest prefix of objects (by access count) that covers
+// a configurable share of all heap accesses, subject to a cap and a
+// minimum-access floor, and reports the per-site dynamic instances —
+// precisely the inputs PreFix needs for context inference.
+//
+// It also performs the lifetime analysis behind object recycling (§2.4):
+// per-site peaks of simultaneously live objects.
+package hotness
+
+import (
+	"sort"
+
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// Config controls hot object selection.
+type Config struct {
+	// Coverage is the target share of heap accesses the hot set should
+	// cover, in (0, 1].
+	Coverage float64
+	// MaxObjects caps the hot set ("preallocating memory for a fixed
+	// small number of hot objects"). 0 means no cap.
+	MaxObjects int
+	// MinAccesses drops objects accessed fewer times than this.
+	MinAccesses uint64
+}
+
+// DefaultConfig covers 96% of heap accesses with at most 4096 objects.
+func DefaultConfig() Config {
+	return Config{Coverage: 0.96, MaxObjects: 4096, MinAccesses: 4}
+}
+
+// Set is the selected hot set.
+type Set struct {
+	// Objects are the hot objects, most accessed first.
+	Objects []*trace.Object
+	// IDs is the same selection as a membership set.
+	IDs map[mem.ObjectID]bool
+	// PerSite lists, for each site with at least one hot object, the hot
+	// dynamic instances in increasing order.
+	PerSite map[mem.SiteID][]mem.Instance
+	// CoveredAccesses is the number of heap accesses to hot objects.
+	CoveredAccesses uint64
+	// HeapAccesses is the total heap accesses in the trace.
+	HeapAccesses uint64
+}
+
+// CoveragePct returns the share of heap accesses covered by the hot set,
+// in percent (the Figure 1 bar height).
+func (s *Set) CoveragePct() float64 {
+	if s.HeapAccesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.CoveredAccesses) / float64(s.HeapAccesses)
+}
+
+// Sites returns the hot allocation sites in ascending order.
+func (s *Set) Sites() []mem.SiteID {
+	out := make([]mem.SiteID, 0, len(s.PerSite))
+	for site := range s.PerSite {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Select picks the hot set from an analyzed trace.
+func Select(a *trace.Analysis, cfg Config) *Set {
+	if cfg.Coverage <= 0 || cfg.Coverage > 1 {
+		cfg.Coverage = 0.9
+	}
+	objs := make([]*trace.Object, 0, len(a.Objects))
+	for _, o := range a.Objects {
+		if o.Accesses >= cfg.MinAccesses && o.Accesses > 0 {
+			objs = append(objs, o)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		if objs[i].Accesses != objs[j].Accesses {
+			return objs[i].Accesses > objs[j].Accesses
+		}
+		return objs[i].ID < objs[j].ID // deterministic tie-break
+	})
+
+	target := uint64(cfg.Coverage * float64(a.HeapAccesses))
+	s := &Set{
+		IDs:          make(map[mem.ObjectID]bool),
+		PerSite:      make(map[mem.SiteID][]mem.Instance),
+		HeapAccesses: a.HeapAccesses,
+	}
+	for _, o := range objs {
+		if cfg.MaxObjects > 0 && len(s.Objects) >= cfg.MaxObjects {
+			break
+		}
+		if s.CoveredAccesses >= target && len(s.Objects) > 0 {
+			break
+		}
+		s.Objects = append(s.Objects, o)
+		s.IDs[o.ID] = true
+		s.PerSite[o.Site] = append(s.PerSite[o.Site], o.Instance)
+		s.CoveredAccesses += o.Accesses
+	}
+	for site := range s.PerSite {
+		insts := s.PerSite[site]
+		sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	}
+	return s
+}
+
+// PromoteSites extends the hot set with *every* object of any site whose
+// selected-hot fraction is at least threshold (and which allocated at
+// least minAllocs objects). This is how "all ids" sites (Table 2) arise:
+// when coverage-based selection already marks nearly all of a site's
+// instances hot, the paper's planner treats the whole site as hot, which
+// both simplifies the runtime check (no id comparison at all) and enables
+// recycling.
+func (s *Set) PromoteSites(a *trace.Analysis, threshold float64, minAllocs uint64) {
+	for site, insts := range s.PerSite {
+		total := a.SiteAllocs[site]
+		if total < minAllocs || float64(len(insts)) < threshold*float64(total) {
+			continue
+		}
+		if uint64(len(insts)) == total {
+			continue // already all hot
+		}
+		for _, id := range a.SiteObjects[site] {
+			o := a.Object(id)
+			if s.IDs[o.ID] {
+				continue
+			}
+			s.Objects = append(s.Objects, o)
+			s.IDs[o.ID] = true
+			s.PerSite[site] = append(s.PerSite[site], o.Instance)
+			s.CoveredAccesses += o.Accesses
+		}
+		insts = s.PerSite[site]
+		sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	}
+}
+
+// Liveness is the per-site recycling analysis.
+type Liveness struct {
+	// SiteAllocs is the total dynamic allocations per site.
+	SiteAllocs map[mem.SiteID]uint64
+	// SiteMaxLive is the peak simultaneously-live object count per site.
+	SiteMaxLive map[mem.SiteID]uint64
+}
+
+// AnalyzeLiveness extracts the lifetime facts the recycling planner needs.
+func AnalyzeLiveness(a *trace.Analysis) Liveness {
+	return Liveness{SiteAllocs: a.SiteAllocs, SiteMaxLive: a.SiteMaxLive}
+}
+
+// RecyclingCandidate reports whether a site allocates many objects of
+// which only a few are simultaneously live — the §2.4 opportunity. ratio
+// is the required allocs/max-live factor (the paper's swissmap/leela class
+// sites exceed it by orders of magnitude).
+func (l Liveness) RecyclingCandidate(site mem.SiteID, ratio float64) bool {
+	allocs := l.SiteAllocs[site]
+	live := l.SiteMaxLive[site]
+	if live == 0 || allocs == 0 {
+		return false
+	}
+	return float64(allocs) >= ratio*float64(live)
+}

@@ -1,0 +1,236 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefix/internal/hds"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+func ids(vs ...uint64) []mem.ObjectID {
+	out := make([]mem.ObjectID, len(vs))
+	for i, v := range vs {
+		out[i] = mem.ObjectID(v)
+	}
+	return out
+}
+
+func stream(heat uint64, vs ...uint64) hds.Stream {
+	return hds.Stream{Objects: ids(vs...), Heat: heat}
+}
+
+func TestReconstituteEmpty(t *testing.T) {
+	r := Reconstitute(nil)
+	if len(r.RHDS) != 0 || len(r.Singletons) != 0 {
+		t.Error("empty OHDS should produce empty RHDS")
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstituteUnchangedInclusion(t *testing.T) {
+	r := Reconstitute([]hds.Stream{stream(10, 1, 2), stream(5, 3, 4)})
+	if len(r.RHDS) != 2 || r.Unchanged != 1 {
+		t.Fatalf("rhds=%d unchanged=%d", len(r.RHDS), r.Unchanged)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstituteFullyCoveredDropped(t *testing.T) {
+	r := Reconstitute([]hds.Stream{stream(10, 1, 2, 3), stream(5, 1, 3)})
+	if len(r.RHDS) != 1 || r.Dropped != 1 {
+		t.Fatalf("rhds=%d dropped=%d", len(r.RHDS), r.Dropped)
+	}
+}
+
+func TestReconstituteMerge(t *testing.T) {
+	// Second stream shares object 2 and brings 3, 4: merged into the
+	// first RHDS entry.
+	r := Reconstitute([]hds.Stream{stream(10, 1, 2), stream(5, 2, 3, 4)})
+	if len(r.RHDS) != 1 || r.Merged != 1 {
+		t.Fatalf("rhds=%d merged=%d", len(r.RHDS), r.Merged)
+	}
+	got := r.RHDS[0].Objects
+	if len(got) != 4 {
+		t.Fatalf("merged stream = %v", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstituteOneMergePerStream(t *testing.T) {
+	// Three streams all overlapping the first: only one merge into it;
+	// the rest must split.
+	r := Reconstitute([]hds.Stream{
+		stream(10, 1, 2),
+		stream(8, 2, 3, 4),
+		stream(6, 1, 5, 6),
+	})
+	if r.Merged != 1 {
+		t.Errorf("merged = %d, want 1", r.Merged)
+	}
+	if r.Split != 1 {
+		t.Errorf("split = %d, want 1", r.Split)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstituteSingleton(t *testing.T) {
+	// Overlapping stream leaves exactly one new object: it becomes a
+	// singleton (after the first RHDS entry has already been merged).
+	r := Reconstitute([]hds.Stream{
+		stream(10, 1, 2),
+		stream(8, 2, 3, 4), // merges
+		stream(6, 1, 7),    // splits; remainder {7} is a singleton
+	})
+	if len(r.Singletons) != 1 || r.Singletons[0] != 7 {
+		t.Fatalf("singletons = %v", r.Singletons)
+	}
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReconstitutePaperExample feeds the Figure 2 cc1 OHDS from the paper
+// and checks the structural claims the paper makes: all RHDS exploitable
+// (validated), 10 of the 12 hot objects covered by streams, 2 singletons.
+func TestReconstitutePaperExample(t *testing.T) {
+	ohds := []hds.Stream{
+		stream(100, 2012, 2009),
+		stream(95, 2009, 2012, 1963),
+		stream(90, 2018, 2009),
+		stream(85, 1963, 1967),
+		stream(80, 2419, 24),
+		stream(75, 24, 2017),
+		stream(70, 22, 23),
+		stream(65, 23, 2422),
+		stream(60, 2012, 2016),
+		stream(55, 2009, 2017),
+	}
+	r := Reconstitute(ohds)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	covered := hds.Objects(r.RHDS)
+	total := len(covered) + len(r.Singletons)
+	if total != 12 {
+		t.Errorf("total hot objects = %d, want 12", total)
+	}
+	if len(r.Singletons) == 0 {
+		t.Error("the cc1 example should leave singleton objects")
+	}
+	// Every input object must appear exactly once in the final order.
+	order := r.Order()
+	seen := make(map[mem.ObjectID]bool)
+	for _, o := range order {
+		if seen[o] {
+			t.Fatalf("object %v placed twice", o)
+		}
+		seen[o] = true
+	}
+}
+
+// TestReconstituteExploitabilityProperty: for random OHDS inputs the
+// output always satisfies the exploitability invariant and covers every
+// input object exactly once.
+func TestReconstituteExploitabilityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nStreams := rng.Intn(12) + 1
+		ohds := make([]hds.Stream, 0, nStreams)
+		for i := 0; i < nStreams; i++ {
+			n := rng.Intn(5) + 2
+			seen := make(map[mem.ObjectID]bool)
+			var objs []mem.ObjectID
+			for len(objs) < n {
+				o := mem.ObjectID(rng.Intn(20) + 1)
+				if !seen[o] {
+					seen[o] = true
+					objs = append(objs, o)
+				}
+			}
+			ohds = append(ohds, hds.Stream{Objects: objs, Heat: uint64(100 - i)})
+		}
+		r := Reconstitute(ohds)
+		if r.Validate() != nil {
+			return false
+		}
+		// Coverage: every input object appears in RHDS or singletons.
+		covered := hds.Objects(r.RHDS)
+		for _, s := range r.Singletons {
+			covered[s] = true
+		}
+		for _, s := range ohds {
+			for _, o := range s.Objects {
+				if !covered[o] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignOffsets(t *testing.T) {
+	sizes := map[mem.ObjectID]uint64{1: 40, 2: 64, 3: 100}
+	p := Assign(ids(1, 2, 3), sizes)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Offsets[1] != 0 {
+		t.Errorf("first offset = %d", p.Offsets[1])
+	}
+	if p.Offsets[2] != 48 { // 40 aligned to 48
+		t.Errorf("second offset = %d, want 48", p.Offsets[2])
+	}
+	if p.Offsets[3] != 112 {
+		t.Errorf("third offset = %d, want 112", p.Offsets[3])
+	}
+	if p.Total != 224 { // 112 + AlignUp(100)
+		t.Errorf("total = %d, want 224", p.Total)
+	}
+}
+
+func TestAssignUnknownSize(t *testing.T) {
+	p := Assign(ids(1), map[mem.ObjectID]uint64{})
+	if p.Sizes[1] != Align {
+		t.Errorf("unknown size slot = %d", p.Sizes[1])
+	}
+}
+
+func TestAssignDuplicateIgnored(t *testing.T) {
+	p := Assign(ids(1, 1), map[mem.ObjectID]uint64{1: 16})
+	if p.Total != 16 {
+		t.Errorf("duplicate placed twice: total = %d", p.Total)
+	}
+}
+
+// TestAssignNoOverlapProperty: slots never overlap and fit the region.
+func TestAssignNoOverlapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := rng.Intn(30) + 1
+		order := make([]mem.ObjectID, n)
+		sizes := make(map[mem.ObjectID]uint64, n)
+		for i := range order {
+			order[i] = mem.ObjectID(i + 1)
+			sizes[order[i]] = rng.Uint64n(300)
+		}
+		p := Assign(order, sizes)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package machine is the execution environment of the reproduction: the
+// piece that plays the role of the real CPU + DynamoRIO in the paper's
+// pipeline (Figure 8). Workloads are written against the Env interface and
+// are completely agnostic of which allocation strategy serves them; the
+// machine couples an Allocator, a cache/TLB hierarchy, an optional trace
+// recorder, and a call-stack tracker, and accumulates the metrics that the
+// evaluation tables report.
+package machine
+
+import (
+	"prefix/internal/cachesim"
+	"prefix/internal/callstack"
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// Env is what a workload programs against. It mirrors the operations a
+// traced binary performs: call/return (for calling-context techniques),
+// malloc/free/realloc, data reads/writes, and pure compute.
+type Env interface {
+	// Enter pushes a function frame; Leave pops it. Only calling-context
+	// based strategies (HALO) observe the stack.
+	Enter(fn mem.FuncID)
+	Leave()
+	// Malloc allocates size bytes at the given static malloc site and
+	// returns the simulated address.
+	Malloc(site mem.SiteID, size uint64) mem.Addr
+	// Free releases an allocation.
+	Free(addr mem.Addr)
+	// Realloc resizes an allocation, possibly moving it.
+	Realloc(addr mem.Addr, size uint64) mem.Addr
+	// Read and Write simulate data accesses of the given width.
+	Read(addr mem.Addr, size uint64)
+	Write(addr mem.Addr, size uint64)
+	// Compute charges n non-memory instructions.
+	Compute(n uint64)
+}
+
+// Allocator is an allocation strategy under test: the baseline heap, the
+// HDS and HALO baselines, or PreFix. The returned instr values are the
+// dynamic instruction cost of the operation including any underlying heap
+// work, so strategies with cheap fast paths (preallocation hit: a counter
+// bump and a table lookup) are rewarded exactly as in Table 6.
+type Allocator interface {
+	Name() string
+	Malloc(site mem.SiteID, stack mem.StackSig, size uint64) (addr mem.Addr, instr uint64)
+	Free(addr mem.Addr) (instr uint64)
+	Realloc(addr mem.Addr, size uint64) (newAddr mem.Addr, instr uint64)
+}
+
+// Metrics summarizes one run.
+type Metrics struct {
+	Instr       uint64 // total dynamic instructions (compute + memory + allocator)
+	MemInstr    uint64 // instructions that were memory accesses
+	AllocInstr  uint64 // instructions spent inside the allocator
+	Mallocs     uint64
+	Frees       uint64
+	Reallocs    uint64
+	Cache       cachesim.Counts
+	Cycles      float64
+	StallCycles float64
+}
+
+// BackendStallPct is the share of cycles stalled on memory, the paper's
+// Figure 13 metric.
+func (m Metrics) BackendStallPct() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return 100 * m.StallCycles / m.Cycles
+}
+
+// Machine is a single logical hardware thread.
+type Machine struct {
+	alloc Allocator
+	hier  *cachesim.Hierarchy
+	cost  cachesim.CostModel
+	rec   *trace.Recorder // nil when not tracing
+	stack callstack.Stack
+
+	m Metrics
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithRecorder attaches a trace recorder (profiling runs).
+func WithRecorder(r *trace.Recorder) Option {
+	return func(m *Machine) { m.rec = r }
+}
+
+// New builds a machine over the given allocator and cache configuration.
+func New(alloc Allocator, cfg cachesim.Config, opts ...Option) *Machine {
+	m := &Machine{
+		alloc: alloc,
+		hier:  cachesim.New(cfg),
+		cost:  cfg.Cost,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// newShared builds a machine whose LLC is shared (multithreaded groups).
+func newShared(alloc Allocator, cfg cachesim.Config, llc *cachesim.Cache, rec *trace.Recorder) *Machine {
+	return &Machine{
+		alloc: alloc,
+		hier:  cachesim.NewShared(cfg, llc),
+		cost:  cfg.Cost,
+		rec:   rec,
+	}
+}
+
+// Enter implements Env.
+func (m *Machine) Enter(fn mem.FuncID) {
+	m.stack.Push(fn)
+	m.m.Instr += 2 // call + frame setup
+}
+
+// Leave implements Env.
+func (m *Machine) Leave() {
+	m.stack.Pop()
+	m.m.Instr++
+}
+
+// Malloc implements Env.
+func (m *Machine) Malloc(site mem.SiteID, size uint64) mem.Addr {
+	addr, instr := m.alloc.Malloc(site, m.stack.Sig(), size)
+	m.m.Instr += instr
+	m.m.AllocInstr += instr
+	m.m.Mallocs++
+	if m.rec != nil {
+		m.rec.Alloc(site, m.stack.Sig(), addr, size)
+	}
+	return addr
+}
+
+// Free implements Env.
+func (m *Machine) Free(addr mem.Addr) {
+	if addr == mem.NilAddr {
+		return
+	}
+	instr := m.alloc.Free(addr)
+	m.m.Instr += instr
+	m.m.AllocInstr += instr
+	m.m.Frees++
+	if m.rec != nil {
+		m.rec.Free(addr)
+	}
+}
+
+// Realloc implements Env.
+func (m *Machine) Realloc(addr mem.Addr, size uint64) mem.Addr {
+	na, instr := m.alloc.Realloc(addr, size)
+	m.m.Instr += instr
+	m.m.AllocInstr += instr
+	m.m.Reallocs++
+	if m.rec != nil {
+		m.rec.Realloc(addr, na, size)
+	}
+	return na
+}
+
+// Read implements Env.
+func (m *Machine) Read(addr mem.Addr, size uint64) { m.access(addr, size, false) }
+
+// Write implements Env.
+func (m *Machine) Write(addr mem.Addr, size uint64) { m.access(addr, size, true) }
+
+func (m *Machine) access(addr mem.Addr, size uint64, write bool) {
+	m.hier.Access(addr, size)
+	m.m.Instr++
+	m.m.MemInstr++
+	if m.rec != nil {
+		m.rec.Access(addr, size, write)
+	}
+}
+
+// Compute implements Env.
+func (m *Machine) Compute(n uint64) { m.m.Instr += n }
+
+// Finish closes the run and returns the metrics.
+func (m *Machine) Finish() Metrics {
+	m.m.Cache = m.hier.Counts()
+	m.m.Cycles = m.cost.Cycles(m.m.Instr-m.m.MemInstr, m.m.Cache)
+	m.m.StallCycles = m.cost.StallCycles(m.m.Cache)
+	if m.rec != nil {
+		m.rec.AddInstr(m.m.Instr)
+	}
+	return m.m
+}
+
+var _ Env = (*Machine)(nil)
+
+// Group is a set of logical threads with private L1/TLB hierarchies and a
+// shared LLC and allocator, used for the multithreaded evaluation
+// (Figure 10). The simulation is deterministic: the workload decides the
+// interleaving by choosing which thread Env it drives.
+type Group struct {
+	machines []*Machine
+}
+
+// NewGroup builds k thread environments sharing one LLC and allocator.
+// When rec is non-nil all threads record into the same trace (the paper
+// collects a single trace with the default thread count).
+func NewGroup(alloc Allocator, cfg cachesim.Config, k int, rec *trace.Recorder) *Group {
+	llc := cachesim.SharedLLC(cfg)
+	g := &Group{}
+	for i := 0; i < k; i++ {
+		g.machines = append(g.machines, newShared(alloc, cfg, llc, rec))
+	}
+	return g
+}
+
+// Env returns thread i's environment.
+func (g *Group) Env(i int) Env { return g.machines[i] }
+
+// Size returns the thread count.
+func (g *Group) Size() int { return len(g.machines) }
+
+// Finish returns per-thread metrics plus the group's modeled parallel
+// time: the maximum per-thread cycle count (threads run concurrently; the
+// slowest one bounds wall clock).
+func (g *Group) Finish() (threads []Metrics, parallelCycles float64, total Metrics) {
+	for _, m := range g.machines {
+		mm := m.Finish()
+		threads = append(threads, mm)
+		if mm.Cycles > parallelCycles {
+			parallelCycles = mm.Cycles
+		}
+		total.Instr += mm.Instr
+		total.MemInstr += mm.MemInstr
+		total.AllocInstr += mm.AllocInstr
+		total.Mallocs += mm.Mallocs
+		total.Frees += mm.Frees
+		total.Reallocs += mm.Reallocs
+		total.Cache.Add(mm.Cache)
+		total.Cycles += mm.Cycles
+		total.StallCycles += mm.StallCycles
+	}
+	return threads, parallelCycles, total
+}

@@ -1,0 +1,165 @@
+package machine
+
+import (
+	"testing"
+
+	"prefix/internal/cachesim"
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// fakeAlloc is a deterministic allocator for machine tests.
+type fakeAlloc struct {
+	next    mem.Addr
+	mallocs []mem.SiteID
+	stacks  []mem.StackSig
+	frees   []mem.Addr
+}
+
+func (f *fakeAlloc) Name() string { return "fake" }
+func (f *fakeAlloc) Malloc(site mem.SiteID, stack mem.StackSig, size uint64) (mem.Addr, uint64) {
+	f.mallocs = append(f.mallocs, site)
+	f.stacks = append(f.stacks, stack)
+	f.next += 0x1000
+	return f.next, 100
+}
+func (f *fakeAlloc) Free(addr mem.Addr) uint64 {
+	f.frees = append(f.frees, addr)
+	return 50
+}
+func (f *fakeAlloc) Realloc(addr mem.Addr, size uint64) (mem.Addr, uint64) {
+	f.next += 0x1000
+	return f.next, 150
+}
+
+func cfg() cachesim.Config { return cachesim.ScaledConfig() }
+
+func TestMachineAccounting(t *testing.T) {
+	fa := &fakeAlloc{}
+	m := New(fa, cfg())
+	a := m.Malloc(3, 64)
+	m.Write(a, 8)
+	m.Read(a, 8)
+	m.Compute(10)
+	m.Free(a)
+	got := m.Finish()
+	if got.Mallocs != 1 || got.Frees != 1 {
+		t.Errorf("op counts: %+v", got)
+	}
+	if got.AllocInstr != 150 {
+		t.Errorf("alloc instr = %d, want 150", got.AllocInstr)
+	}
+	if got.MemInstr != 2 {
+		t.Errorf("mem instr = %d", got.MemInstr)
+	}
+	// instr = 100 (malloc) + 2 (accesses) + 10 (compute) + 50 (free)
+	if got.Instr != 162 {
+		t.Errorf("instr = %d, want 162", got.Instr)
+	}
+	if got.Cycles <= 0 {
+		t.Error("cycles not computed")
+	}
+	if len(fa.mallocs) != 1 || fa.mallocs[0] != 3 {
+		t.Errorf("allocator saw sites %v", fa.mallocs)
+	}
+}
+
+func TestFreeNilIsNoop(t *testing.T) {
+	fa := &fakeAlloc{}
+	m := New(fa, cfg())
+	m.Free(mem.NilAddr)
+	if len(fa.frees) != 0 {
+		t.Error("nil free reached the allocator")
+	}
+	if m.Finish().Frees != 0 {
+		t.Error("nil free counted")
+	}
+}
+
+func TestStackSignatureReachesAllocator(t *testing.T) {
+	fa := &fakeAlloc{}
+	m := New(fa, cfg())
+	m.Malloc(1, 8)
+	m.Enter(7)
+	m.Malloc(1, 8)
+	m.Leave()
+	m.Malloc(1, 8)
+	if fa.stacks[0] != fa.stacks[2] {
+		t.Error("same (empty) stack should produce same signature")
+	}
+	if fa.stacks[0] == fa.stacks[1] {
+		t.Error("different stacks must produce different signatures")
+	}
+}
+
+func TestRecorderIntegration(t *testing.T) {
+	rec := trace.NewRecorder()
+	m := New(&fakeAlloc{}, cfg(), WithRecorder(rec))
+	a := m.Malloc(2, 32)
+	m.Write(a, 16)
+	b := m.Realloc(a, 64)
+	m.Free(b)
+	m.Finish()
+	tr := rec.Trace()
+	kinds := []trace.Kind{trace.KindAlloc, trace.KindAccess, trace.KindRealloc, trace.KindFree}
+	if len(tr.Events) != len(kinds) {
+		t.Fatalf("events = %d", len(tr.Events))
+	}
+	for i, k := range kinds {
+		if tr.Events[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, tr.Events[i].Kind, k)
+		}
+	}
+	if tr.Instr == 0 {
+		t.Error("recorder should receive the final instruction count")
+	}
+}
+
+func TestBackendStallPct(t *testing.T) {
+	var m Metrics
+	if m.BackendStallPct() != 0 {
+		t.Error("zero cycles should give 0 stalls")
+	}
+	m.Cycles = 200
+	m.StallCycles = 50
+	if m.BackendStallPct() != 25 {
+		t.Errorf("stall pct = %v", m.BackendStallPct())
+	}
+}
+
+func TestGroupSharedLLCAndParallelTime(t *testing.T) {
+	g := NewGroup(&fakeAlloc{}, cfg(), 2, nil)
+	e0, e1 := g.Env(0), g.Env(1)
+	if g.Size() != 2 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	// Thread 0 warms a line; thread 1 should hit the shared LLC but miss
+	// its own L1.
+	e0.Read(0x5000, 8)
+	e1.Read(0x5000, 8)
+	threads, parallel, total := g.Finish()
+	if len(threads) != 2 {
+		t.Fatalf("threads = %d", len(threads))
+	}
+	if threads[1].Cache.LLCMisses != 0 {
+		t.Error("thread 1 should hit shared LLC")
+	}
+	if threads[1].Cache.L1Misses != 1 {
+		t.Error("thread 1 should miss its private L1")
+	}
+	if parallel < threads[0].Cycles && parallel < threads[1].Cycles {
+		t.Error("parallel time must be the max of thread cycles")
+	}
+	if total.Cache.Accesses != 2 {
+		t.Errorf("total accesses = %d", total.Cache.Accesses)
+	}
+}
+
+func TestEnterLeaveCost(t *testing.T) {
+	m := New(&fakeAlloc{}, cfg())
+	m.Enter(1)
+	m.Leave()
+	if got := m.Finish().Instr; got != 3 {
+		t.Errorf("call/return instr = %d, want 3", got)
+	}
+}

@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct {
+		n, align, want uint64
+	}{
+		{0, 16, 0},
+		{1, 16, 16},
+		{15, 16, 16},
+		{16, 16, 16},
+		{17, 16, 32},
+		{63, 64, 64},
+		{64, 64, 64},
+		{65, 64, 128},
+		{4095, 4096, 4096},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.n, c.align); got != c.want {
+			t.Errorf("AlignUp(%d,%d) = %d, want %d", c.n, c.align, got, c.want)
+		}
+	}
+}
+
+func TestAlignUpProperties(t *testing.T) {
+	f := func(n uint32, shift uint8) bool {
+		align := uint64(1) << (shift % 12)
+		got := AlignUp(uint64(n), align)
+		return got >= uint64(n) && got%align == 0 && got-uint64(n) < align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsAligned(t *testing.T) {
+	if !IsAligned(64, 64) || !IsAligned(0, 16) {
+		t.Error("expected aligned")
+	}
+	if IsAligned(65, 64) || IsAligned(8, 16) {
+		t.Error("expected unaligned")
+	}
+}
+
+func TestLineAndPage(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 || LineOf(128) != 2 {
+		t.Error("LineOf wrong")
+	}
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Error("PageOf wrong")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	r := Range{Start: 100, Size: 50}
+	for _, a := range []Addr{100, 101, 149} {
+		if !r.Contains(a) {
+			t.Errorf("range should contain %v", a)
+		}
+	}
+	for _, a := range []Addr{99, 150, 0, 1 << 40} {
+		if r.Contains(a) {
+			t.Errorf("range should not contain %v", a)
+		}
+	}
+	if r.End() != 150 {
+		t.Errorf("End = %v, want 150", r.End())
+	}
+}
+
+func TestRangeContainsEmpty(t *testing.T) {
+	r := Range{Start: 100, Size: 0}
+	if r.Contains(100) {
+		t.Error("empty range should contain nothing")
+	}
+}
+
+func TestRangeOverlaps(t *testing.T) {
+	a := Range{Start: 100, Size: 50}
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{Range{100, 50}, true},
+		{Range{149, 1}, true},
+		{Range{150, 10}, false},
+		{Range{90, 10}, false},
+		{Range{90, 11}, true},
+		{Range{0, 1000}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("overlap not symmetric for %v", c.b)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Addr(0x10).String() != "0x10" {
+		t.Errorf("Addr.String: %s", Addr(0x10))
+	}
+	if SiteID(3).String() != "site3" {
+		t.Errorf("SiteID.String: %s", SiteID(3))
+	}
+	if ObjectID(7).String() != "obj7" {
+		t.Errorf("ObjectID.String: %s", ObjectID(7))
+	}
+}

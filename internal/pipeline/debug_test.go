@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"sort"
+	"testing"
+
+	"prefix/internal/mem"
+	"prefix/internal/workloads"
+)
+
+// TestDebugProfile prints per-site hot selection and mining results; a
+// development aid kept because it documents each workload's profile
+// structure. Run with -run TestDebugProfile -v.
+func TestDebugProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug only")
+	}
+	for _, name := range []string{"analyzer", "perl", "mysql", "mcf"} {
+		spec, err := workloads.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		prof, err := CollectProfile(spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := prof.Analysis
+		t.Logf("=== %s: objects=%d heapAcc=%d hot=%d coverage=%.1f%% lcsStreams=%d seqStreams=%d",
+			name, len(a.Objects), a.HeapAccesses, len(prof.Hot.Objects),
+			prof.Hot.CoveragePct(), len(prof.StreamsLCS), len(prof.StreamsSequitur))
+		var sites []mem.SiteID
+		for s := range a.SiteAllocs {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, s := range sites {
+			t.Logf("  site%-3d allocs=%-6d hot=%-6d maxLive=%d",
+				s, a.SiteAllocs[s], len(prof.Hot.PerSite[s]), a.SiteMaxLive[s])
+		}
+		for i, st := range prof.StreamsLCS {
+			if i >= 3 {
+				break
+			}
+			t.Logf("  lcs[%d]: len=%d heat=%d", i, len(st.Objects), st.Heat)
+		}
+		for i, st := range prof.StreamsSequitur {
+			if i >= 3 {
+				break
+			}
+			t.Logf("  seq[%d]: len=%d heat=%d", i, len(st.Objects), st.Heat)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"prefix/internal/baselines"
+	"prefix/internal/machine"
+	"prefix/internal/prefix"
+	"prefix/internal/trace"
+	"prefix/internal/workloads"
+)
+
+// MTResult is one point of the Figure 10 evaluation: the benchmark run
+// with k threads under the baseline and under the best PreFix plan, and
+// the relative improvement of modeled parallel time.
+type MTResult struct {
+	Threads        int
+	BaselineCycles float64
+	PreFixCycles   float64
+	ImprovementPct float64 // positive = PreFix faster, the Figure 10 y-axis
+	CallsAvoided   uint64
+}
+
+// RunMultithreaded reproduces the §3.3 multithreading experiment for one
+// benchmark: the trace is collected once (single-threaded profiling run,
+// default configuration), the plan is built once, and the optimized
+// program is then run with each thread count. Only benchmarks whose
+// program implements workloads.MultiThreaded are eligible.
+func RunMultithreaded(name string, threadCounts []int, opt Options) ([]MTResult, error) {
+	spec, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	mt, ok := spec.Program.(workloads.MultiThreaded)
+	if !ok {
+		return nil, fmt.Errorf("pipeline: %s is not multithreaded", name)
+	}
+	// "The traces were collected only once from these benchmarks with the
+	// number of threads set to the default value" (§3.3): profile with
+	// the default thread count, then optimize once and evaluate at every
+	// thread count.
+	const defaultThreads = 4
+	rec := trace.NewRecorder()
+	profGroup := machine.NewGroup(baselines.NewBaseline(opt.Cache.Cost), opt.Cache, defaultThreads, rec)
+	pcfg := spec.Profile
+	pcfg.Threads = defaultThreads
+	runGroup(mt, profGroup, pcfg, defaultThreads)
+	profGroup.Finish()
+	analysis := trace.Analyze(rec.Trace())
+	if analysis.HeapAccesses == 0 {
+		return nil, fmt.Errorf("pipeline: %s multithreaded profile has no heap accesses", name)
+	}
+
+	cfg := opt.Plan
+	cfg.Benchmark = name
+	cfg.Variant = prefix.VariantHot // mysql/mcf best configurations use Hot
+	plan, _, err := prefix.BuildPlanFromHot(analysis, prefix.SelectHot(analysis, cfg), cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	wcfg := evalConfig(spec, opt)
+	var out []MTResult
+	for _, k := range threadCounts {
+		wcfg.Threads = k
+
+		baseGroup := machine.NewGroup(baselines.NewBaseline(opt.Cache.Cost), opt.Cache, k, nil)
+		runGroup(mt, baseGroup, wcfg, k)
+		_, baseCycles, _ := baseGroup.Finish()
+
+		alloc := prefix.NewAllocator(plan, opt.Cache.Cost)
+		optGroup := machine.NewGroup(alloc, opt.Cache, k, nil)
+		runGroup(mt, optGroup, wcfg, k)
+		_, optCycles, _ := optGroup.Finish()
+
+		r := MTResult{
+			Threads:        k,
+			BaselineCycles: baseCycles,
+			PreFixCycles:   optCycles,
+			CallsAvoided:   alloc.Capture().CallsAvoided(),
+		}
+		if baseCycles > 0 {
+			r.ImprovementPct = 100 * (baseCycles - optCycles) / baseCycles
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runGroup(mt workloads.MultiThreaded, g *machine.Group, cfg workloads.Config, k int) {
+	envs := make([]machine.Env, k)
+	for i := 0; i < k; i++ {
+		envs[i] = g.Env(i)
+	}
+	mt.RunMT(envs, cfg)
+}

@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"testing"
+
+	"prefix/internal/prefix"
+	"prefix/internal/workloads"
+)
+
+func TestVariantSubset(t *testing.T) {
+	opt := fastOpt()
+	opt.Variants = []prefix.Variant{prefix.VariantHot}
+	cmp, err := RunBenchmark("swissmap", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.PreFix) != 1 {
+		t.Fatalf("variants run = %d, want 1", len(cmp.PreFix))
+	}
+	if cmp.Best != prefix.VariantHot {
+		t.Errorf("best = %v", cmp.Best)
+	}
+}
+
+func TestEmptyVariantsDefaulted(t *testing.T) {
+	opt := fastOpt()
+	opt.Variants = nil
+	cmp, err := RunBenchmark("swissmap", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.PreFix) != 3 {
+		t.Fatalf("variants run = %d, want 3", len(cmp.PreFix))
+	}
+}
+
+func TestEvalConfigSelection(t *testing.T) {
+	spec, err := workloads.Get("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	if got := evalConfig(spec, opt); got != spec.Long {
+		t.Error("default should use the long configuration")
+	}
+	opt.UseBenchScale = true
+	if got := evalConfig(spec, opt); got != spec.Bench {
+		t.Error("bench scale should use the bench configuration")
+	}
+}
+
+func TestDeterministicComparison(t *testing.T) {
+	run := func() float64 {
+		cmp, err := RunBenchmark("mcf", fastOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp.BestResult().Metrics.Cycles
+	}
+	if run() != run() {
+		t.Error("the whole pipeline must be deterministic")
+	}
+}
+
+func TestRunVariance(t *testing.T) {
+	v, err := RunVariance("swissmap", 3, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Runs != 3 || len(v.Deltas) != 3 {
+		t.Fatalf("variance = %+v", v)
+	}
+	if v.MinPct > v.MeanPct || v.MeanPct > v.MaxPct {
+		t.Errorf("summary ordering wrong: %+v", v)
+	}
+	// The plan must keep winning on perturbed inputs (Table 5's claim).
+	if v.MaxPct > -1 {
+		t.Errorf("worst-case reduction %.2f%% too weak across seeds", v.MaxPct)
+	}
+}
+
+func TestRunVarianceErrors(t *testing.T) {
+	if _, err := RunVariance("swissmap", 0, fastOpt()); err == nil {
+		t.Error("zero runs should error")
+	}
+	if _, err := RunVariance("nope", 2, fastOpt()); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}

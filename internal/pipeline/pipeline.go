@@ -1,0 +1,96 @@
+// Package pipeline orchestrates the full PreFix flow of the paper's
+// Figure 8 for one benchmark: run the profiling input under the tracing
+// machine, analyze the trace (hot objects, hot data streams, layout,
+// contexts), build the per-variant plans and baseline configurations, run
+// the evaluation input under every allocation strategy, and assemble the
+// measurements every table and figure reports.
+package pipeline
+
+import (
+	"fmt"
+
+	"prefix/internal/baselines"
+	"prefix/internal/cachesim"
+	"prefix/internal/hds"
+	"prefix/internal/hotness"
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/prefix"
+	"prefix/internal/trace"
+	"prefix/internal/workloads"
+)
+
+// Options configures a benchmark evaluation.
+type Options struct {
+	// Cache is the simulated memory hierarchy (ScaledConfig by default).
+	Cache cachesim.Config
+	// Plan is the base planning configuration; Variant is overridden per
+	// run and Benchmark is filled in by the pipeline.
+	Plan prefix.PlanConfig
+	// UseBenchScale selects spec.Bench instead of spec.Long for the
+	// evaluation runs (used by the Go benchmark harness).
+	UseBenchScale bool
+	// CaptureLongRun additionally records and analyzes the best PreFix
+	// evaluation run, producing the Table 5 long-run columns. Costs
+	// memory proportional to the trace length.
+	CaptureLongRun bool
+	// Variants to evaluate; defaults to all three.
+	Variants []prefix.Variant
+}
+
+// DefaultOptions returns the standard evaluation setup.
+func DefaultOptions() Options {
+	return Options{
+		Cache:    cachesim.ScaledConfig(),
+		Plan:     prefix.DefaultPlanConfig("", prefix.VariantHDSHot),
+		Variants: []prefix.Variant{prefix.VariantHot, prefix.VariantHDS, prefix.VariantHDSHot},
+	}
+}
+
+// Profile is the product of the profiling run.
+type Profile struct {
+	Analysis *trace.Analysis
+	Hot      *hotness.Set
+	// StreamsLCS is the paper's LCS-mined OHDS (drives PreFix planning
+	// and HALO affinity grouping); StreamsSequitur drives the HDS
+	// baseline's site choice, as in the original HDS work.
+	StreamsLCS      []hds.Stream
+	StreamsSequitur []hds.Stream
+	// Metrics of the profiling run itself.
+	Metrics machine.Metrics
+}
+
+// CollectProfile runs the benchmark's profiling input under the tracing
+// machine with the baseline allocator and analyzes the trace.
+func CollectProfile(spec workloads.Spec, opt Options) (*Profile, error) {
+	rec := trace.NewRecorder()
+	alloc := baselines.NewBaseline(opt.Cache.Cost)
+	m := machine.New(alloc, opt.Cache, machine.WithRecorder(rec))
+	spec.Program.Run(m, spec.Profile)
+	metrics := m.Finish()
+
+	a := trace.Analyze(rec.Trace())
+	if a.HeapAccesses == 0 {
+		return nil, fmt.Errorf("pipeline: %s profiling run produced no heap accesses", spec.Program.Name())
+	}
+	cfg := opt.Plan
+	cfg.Benchmark = spec.Program.Name()
+	hot := prefix.SelectHot(a, cfg)
+
+	refs := hds.CollapseRefs(a.Refs, hot.IDs)
+	return &Profile{
+		Analysis:        a,
+		Hot:             hot,
+		StreamsLCS:      weigh(hds.MineLCS(refs, cfg.HDS), hot),
+		StreamsSequitur: weigh(hds.MineSequitur(refs, cfg.HDS), hot),
+		Metrics:         metrics,
+	}, nil
+}
+
+func weigh(streams []hds.Stream, hot *hotness.Set) []hds.Stream {
+	accesses := make(map[mem.ObjectID]uint64, len(hot.Objects))
+	for _, o := range hot.Objects {
+		accesses[o.ID] = o.Accesses
+	}
+	return hds.WeighByAccesses(streams, accesses)
+}

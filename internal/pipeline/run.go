@@ -1,0 +1,246 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"prefix/internal/baselines"
+	"prefix/internal/hds"
+	"prefix/internal/machine"
+	"prefix/internal/prefix"
+	"prefix/internal/trace"
+	"prefix/internal/workloads"
+)
+
+// RunResult is one evaluation run under one allocation strategy.
+type RunResult struct {
+	Strategy  string
+	Metrics   machine.Metrics
+	PeakBytes uint64
+	// Pollution is set for the HDS and HALO baselines (Table 4).
+	Pollution *baselines.Pollution
+	// Capture is set for PreFix runs (Tables 5 and 6).
+	Capture *prefix.Capture
+	// Trace is the recorded evaluation trace when requested.
+	Trace *trace.Trace
+}
+
+// TimeDeltaPct returns the execution-time change of this run relative to
+// base, in percent (negative = reduction, the paper's Table 3 convention).
+func (r RunResult) TimeDeltaPct(base RunResult) float64 {
+	if base.Metrics.Cycles == 0 {
+		return 0
+	}
+	return 100 * (r.Metrics.Cycles - base.Metrics.Cycles) / base.Metrics.Cycles
+}
+
+// evalConfig returns the evaluation-run workload configuration.
+func evalConfig(spec workloads.Spec, opt Options) workloads.Config {
+	if opt.UseBenchScale {
+		return spec.Bench
+	}
+	return spec.Long
+}
+
+// runOne executes the evaluation input on one strategy.
+func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bool) RunResult {
+	var rec *trace.Recorder
+	mopts := []machine.Option{}
+	if record {
+		rec = trace.NewRecorder()
+		mopts = append(mopts, machine.WithRecorder(rec))
+	}
+	m := machine.New(alloc, opt.Cache, mopts...)
+	spec.Program.Run(m, evalConfig(spec, opt))
+	res := RunResult{Strategy: alloc.Name(), Metrics: m.Finish()}
+	if rec != nil {
+		res.Trace = rec.Trace()
+	}
+	switch a := alloc.(type) {
+	case *baselines.Baseline:
+		res.PeakBytes = a.PeakBytes()
+	case *baselines.HDSAlloc:
+		res.PeakBytes = a.PeakBytes()
+		p := a.Pollution()
+		res.Pollution = &p
+	case *baselines.HALO:
+		res.PeakBytes = a.PeakBytes()
+		p := a.Pollution()
+		res.Pollution = &p
+	case *prefix.Allocator:
+		res.PeakBytes = a.PeakBytes()
+		c := a.Capture()
+		res.Capture = &c
+	}
+	return res
+}
+
+// Comparison is the full evaluation of one benchmark: every strategy's
+// run, the plans, and the profile it was all derived from.
+type Comparison struct {
+	Benchmark string
+	Profile   *Profile
+	Baseline  RunResult
+	HDS       RunResult
+	HALO      RunResult
+	PreFix    map[prefix.Variant]RunResult
+	Plans     map[prefix.Variant]*prefix.Plan
+	Summaries map[prefix.Variant]*prefix.Summary
+	// Best is the best-performing PreFix variant (lowest cycles).
+	Best prefix.Variant
+	// LongRun is the Table 5 long-run analysis of the best variant's
+	// recorded trace (nil unless CaptureLongRun).
+	LongRun *LongRunCapture
+}
+
+// LongRunCapture compares what landed in the preallocated region during
+// the evaluation run against the run's own hot set (Table 5, right half).
+type LongRunCapture struct {
+	// HeapAccessPct is the share of heap accesses served by preallocated
+	// objects.
+	HeapAccessPct float64
+	// HotObjects is the number of hot objects captured in the region;
+	// HDSObjects of those, the ones belonging to the run's own streams.
+	HotObjects int
+	HDSObjects int
+	// CapturedObjects is everything placed in the region (spurious
+	// captures would make this exceed HotObjects; PreFix's claim is that
+	// it does not).
+	CapturedObjects int
+}
+
+// BestResult returns the best PreFix run.
+func (c *Comparison) BestResult() RunResult { return c.PreFix[c.Best] }
+
+// RunBenchmark evaluates one benchmark end to end.
+func RunBenchmark(name string, opt Options) (*Comparison, error) {
+	spec, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(opt.Variants) == 0 {
+		opt.Variants = DefaultOptions().Variants
+	}
+	prof, err := CollectProfile(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return compareStrategies(spec, opt, prof)
+}
+
+// compareStrategies runs the evaluation input under every strategy for an
+// already-collected profile.
+func compareStrategies(spec workloads.Spec, opt Options, prof *Profile) (*Comparison, error) {
+	name := spec.Program.Name()
+	cmp := &Comparison{
+		Benchmark: name,
+		Profile:   prof,
+		PreFix:    make(map[prefix.Variant]RunResult),
+		Plans:     make(map[prefix.Variant]*prefix.Plan),
+		Summaries: make(map[prefix.Variant]*prefix.Summary),
+	}
+
+	cost := opt.Cache.Cost
+	hotSet := baselines.HotSetOf(prof.Hot)
+
+	// Baseline.
+	cmp.Baseline = runOne(spec, opt, baselines.NewBaseline(cost), false)
+
+	// HDS baseline: sites from Sequitur streams, per the original work.
+	hdsSites := baselines.HDSSites(prof.Analysis, prof.StreamsSequitur)
+	cmp.HDS = runOne(spec, opt, baselines.NewHDS(hdsSites, hotSet, cost), false)
+
+	// HALO baseline: affinity-grouped allocation contexts.
+	haloCfg := baselines.PlanHALO(prof.Analysis, prof.Hot, prof.StreamsLCS)
+	cmp.HALO = runOne(spec, opt, baselines.NewHALO(haloCfg, hotSet, cost), false)
+
+	// PreFix variants.
+	for _, v := range opt.Variants {
+		cfg := opt.Plan
+		cfg.Benchmark = name
+		cfg.Variant = v
+		plan, sum, err := prefix.BuildPlanFromHot(prof.Analysis, prof.Hot, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s %v: %w", name, v, err)
+		}
+		cmp.Plans[v] = plan
+		cmp.Summaries[v] = sum
+		cmp.PreFix[v] = runOne(spec, opt, prefix.NewAllocator(plan, cost), false)
+	}
+
+	best := opt.Variants[0]
+	for _, v := range opt.Variants[1:] {
+		if cmp.PreFix[v].Metrics.Cycles < cmp.PreFix[best].Metrics.Cycles {
+			best = v
+		}
+	}
+	cmp.Best = best
+
+	if opt.CaptureLongRun {
+		lr, err := captureLongRun(spec, opt, cmp.Plans[best])
+		if err != nil {
+			return nil, err
+		}
+		cmp.LongRun = lr
+	}
+	return cmp, nil
+}
+
+// TraceBaselineAndBest runs the evaluation input under the baseline and
+// under a freshly planned best-variant PreFix allocator, recording both
+// traces — the input of the Figure 9 heatmaps.
+func TraceBaselineAndBest(name string, opt Options) (base, best *trace.Trace, err error) {
+	spec, err := workloads.Get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := CollectProfile(spec, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := opt.Plan
+	cfg.Benchmark = name
+	cfg.Variant = prefix.VariantHDSHot
+	plan, _, err := prefix.BuildPlanFromHot(prof.Analysis, prof.Hot, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseRun := runOne(spec, opt, baselines.NewBaseline(opt.Cache.Cost), true)
+	optRun := runOne(spec, opt, prefix.NewAllocator(plan, opt.Cache.Cost), true)
+	return baseRun.Trace, optRun.Trace, nil
+}
+
+// captureLongRun re-runs the best variant with tracing and analyzes what
+// was captured (Table 5's long-run columns).
+func captureLongRun(spec workloads.Spec, opt Options, plan *prefix.Plan) (*LongRunCapture, error) {
+	alloc := prefix.NewAllocator(plan, opt.Cache.Cost)
+	res := runOne(spec, opt, alloc, true)
+	a := trace.Analyze(res.Trace)
+	region := plan.Region()
+
+	cfg := opt.Plan
+	cfg.Benchmark = spec.Program.Name()
+	hot := prefix.SelectHot(a, cfg)
+	refs := hds.CollapseRefs(a.Refs, hot.IDs)
+	streams := hds.MineLCS(refs, cfg.HDS)
+	inStream := hds.Objects(streams)
+
+	lr := &LongRunCapture{}
+	var regionAccesses uint64
+	for _, o := range a.Objects {
+		if !region.Contains(o.Addr) {
+			continue
+		}
+		lr.CapturedObjects++
+		regionAccesses += o.Accesses
+		if hot.IDs[o.ID] {
+			lr.HotObjects++
+			if inStream[o.ID] {
+				lr.HDSObjects++
+			}
+		}
+	}
+	if a.HeapAccesses > 0 {
+		lr.HeapAccessPct = 100 * float64(regionAccesses) / float64(a.HeapAccesses)
+	}
+	return lr, nil
+}

@@ -1,0 +1,54 @@
+package pipeline
+
+import (
+	"testing"
+
+	"prefix/internal/prefix"
+	"prefix/internal/workloads"
+)
+
+// TestSmokeAllBenchmarks runs the full Figure 8 pipeline on every
+// benchmark at bench scale and checks the headline shape of Table 3: the
+// best PreFix variant must never lose to the baseline, and must beat both
+// prior techniques on average.
+func TestSmokeAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline smoke is not short")
+	}
+	var sumBest, sumHDS, sumHALO float64
+	for _, name := range workloads.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			opt := DefaultOptions()
+			opt.UseBenchScale = true
+			cmp, err := RunBenchmark(name, opt)
+			if err != nil {
+				t.Fatalf("RunBenchmark: %v", err)
+			}
+			base := cmp.Baseline
+			best := cmp.BestResult().TimeDeltaPct(base)
+			hds := cmp.HDS.TimeDeltaPct(base)
+			halo := cmp.HALO.TimeDeltaPct(base)
+			t.Logf("%s: base=%.3g cycles hds=%+.2f%% halo=%+.2f%% hot=%+.2f%% hds_v=%+.2f%% hds+hot=%+.2f%% best=%v (sites=%d counters=%d kinds=%s hot=%d)",
+				name, base.Metrics.Cycles, hds, halo,
+				cmp.PreFix[prefix.VariantHot].TimeDeltaPct(base),
+				cmp.PreFix[prefix.VariantHDS].TimeDeltaPct(base),
+				cmp.PreFix[prefix.VariantHDSHot].TimeDeltaPct(base),
+				cmp.Best, cmp.Plans[cmp.Best].NumSites(),
+				cmp.Plans[cmp.Best].NumCounters(), cmp.Plans[cmp.Best].KindsString(),
+				len(cmp.Profile.Hot.Objects))
+			if best > 1.0 {
+				t.Errorf("best PreFix variant is %.2f%% (a slowdown > 1%%) on %s", best, name)
+			}
+			sumBest += best
+			sumHDS += hds
+			sumHALO += halo
+		})
+	}
+	n := float64(len(workloads.Names()))
+	t.Logf("averages: prefix-best=%.2f%% hds=%.2f%% halo=%.2f%%", sumBest/n, sumHDS/n, sumHALO/n)
+	if sumBest/n >= sumHDS/n || sumBest/n >= sumHALO/n {
+		t.Errorf("PreFix average (%.2f%%) must beat HDS (%.2f%%) and HALO (%.2f%%)",
+			sumBest/n, sumHDS/n, sumHALO/n)
+	}
+}

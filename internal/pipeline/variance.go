@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"prefix/internal/workloads"
+)
+
+// Variance is the seed-sweep analogue of the paper's "execution times
+// ... are averaged over 10 runs": the evaluation input's seed is
+// perturbed N times (different inputs of the same shape) and the
+// best-variant reduction is summarized.
+type Variance struct {
+	Benchmark string
+	Runs      int
+	MeanPct   float64
+	MinPct    float64 // most negative (best) observed reduction
+	MaxPct    float64 // least negative (worst) observed reduction
+	Deltas    []float64
+}
+
+// RunVariance evaluates one benchmark across `runs` perturbed evaluation
+// seeds using a single plan from the unperturbed profile — exactly the
+// deployment situation: one profile, many inputs.
+func RunVariance(name string, runs int, opt Options) (*Variance, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("pipeline: runs must be positive")
+	}
+	spec, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	v := &Variance{Benchmark: name, Runs: runs}
+	base := evalConfig(spec, opt)
+	for i := 0; i < runs; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)*1_000_003
+		runSpec := spec
+		if opt.UseBenchScale {
+			runSpec.Bench = cfg
+		} else {
+			runSpec.Long = cfg
+		}
+		// Keep the profiling input fixed: the plan must survive input
+		// changes (Table 5's claim).
+		cmp, err := runComparison(runSpec, opt)
+		if err != nil {
+			return nil, err
+		}
+		d := cmp.BestResult().TimeDeltaPct(cmp.Baseline)
+		v.Deltas = append(v.Deltas, d)
+		v.MeanPct += d
+		if i == 0 || d < v.MinPct {
+			v.MinPct = d
+		}
+		if i == 0 || d > v.MaxPct {
+			v.MaxPct = d
+		}
+	}
+	v.MeanPct /= float64(runs)
+	return v, nil
+}
+
+// runComparison is RunBenchmark for an already-resolved (possibly
+// modified) spec.
+func runComparison(spec workloads.Spec, opt Options) (*Comparison, error) {
+	if len(opt.Variants) == 0 {
+		opt.Variants = DefaultOptions().Variants
+	}
+	prof, err := CollectProfile(spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	return compareStrategies(spec, opt, prof)
+}

@@ -1,0 +1,219 @@
+// Package prefix implements the paper's primary contribution: the PreFix
+// optimizer and runtime. A Plan is the product of profile analysis — the
+// preallocated region layout, the per-counter id patterns, the id→slot
+// mapping, and the recycling configuration. The Allocator executes the
+// plan at "runtime" with the exact instrumentation semantics of the
+// paper's Figures 4 (malloc), 5 (free), 6 (realloc) and 7 (recycling).
+package prefix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"prefix/internal/context"
+	"prefix/internal/hds"
+	"prefix/internal/layout"
+	"prefix/internal/mem"
+)
+
+// RegionBase is where the preallocated hot-object region lives in the
+// simulated address space, far from the general heap.
+const RegionBase mem.Addr = 0x4000_0000_0000
+
+// Variant selects which objects the plan places (§3.2's three PreFix
+// configurations).
+type Variant uint8
+
+const (
+	// VariantHot places all hot objects in allocation order.
+	VariantHot Variant = iota + 1
+	// VariantHDS places only reconstituted-HDS objects, reordered by the
+	// layout algorithm.
+	VariantHDS
+	// VariantHDSHot places reconstituted HDS objects first and the
+	// remaining hot objects at the end of the region.
+	VariantHDSHot
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantHot:
+		return "prefix:hot"
+	case VariantHDS:
+		return "prefix:hds"
+	case VariantHDSHot:
+		return "prefix:hds+hot"
+	default:
+		return fmt.Sprintf("Variant(%d)", uint8(v))
+	}
+}
+
+// Slot is a reserved range inside the preallocated region.
+type Slot struct {
+	Offset uint64
+	Size   uint64
+}
+
+// PlanCounter is one runtime counter: the sites that share it, the id
+// pattern that detects hot instances, and either a static id→slot mapping
+// or a recycling slot ring.
+type PlanCounter struct {
+	Sites   []mem.SiteID
+	Kind    context.PatternKind
+	Set     []mem.Instance `json:",omitempty"` // Fixed
+	Start   mem.Instance   `json:",omitempty"` // Regular
+	Step    mem.Instance   `json:",omitempty"`
+	Count   uint64         `json:",omitempty"`
+	SlotOf  map[mem.Instance]Slot
+	Recycle *RecyclePlan `json:",omitempty"`
+	// Sigs enables the hybrid context of §2.2.2 ("it could make sense to
+	// use both mechanisms together, object IDs and calling context"):
+	// when present, a matching instance id is only captured if the
+	// allocation's call-stack signature also matches the one observed in
+	// the profiling run — protecting fixed-id plans against
+	// non-deterministic allocation orders.
+	Sigs map[mem.Instance]mem.StackSig `json:",omitempty"`
+}
+
+// RecyclePlan configures Figure 7 object recycling for a counter: N slots
+// reused round-robin by `(Counter-1) mod N`.
+type RecyclePlan struct {
+	N        int
+	SlotSize uint64
+	// Base is the region offset of slot 0; slot i starts at
+	// Base + i*SlotSize.
+	Base uint64
+}
+
+// Pattern reconstructs the runtime matcher for the counter.
+func (c *PlanCounter) Pattern() context.Pattern {
+	return context.Pattern{
+		Kind:  c.Kind,
+		Set:   c.Set,
+		Start: c.Start,
+		Step:  c.Step,
+		Count: c.Count,
+	}
+}
+
+// Plan is the full optimization product consumed by the Allocator and the
+// binary-rewriting model.
+type Plan struct {
+	Benchmark  string
+	Variant    Variant
+	RegionSize uint64
+	Counters   []PlanCounter
+	// SiteCounter maps every instrumented malloc site to its counter.
+	SiteCounter map[mem.SiteID]int
+	// PlacedObjects is the number of distinct profile objects given
+	// static slots (recycled slots excluded).
+	PlacedObjects int
+	// HDSObjects is how many placed objects belong to reconstituted
+	// streams (for Table 5's "HDS" column).
+	HDSObjects int
+	// Order is the placement order of profile objects (reporting only).
+	Order []mem.ObjectID `json:",omitempty"`
+}
+
+// Region returns the preallocated region as an address range.
+func (p *Plan) Region() mem.Range {
+	return mem.Range{Start: RegionBase, Size: p.RegionSize}
+}
+
+// NumSites returns the instrumented site count (Table 2 "#sites").
+func (p *Plan) NumSites() int { return len(p.SiteCounter) }
+
+// NumCounters returns the counter count (Table 2 "#counters").
+func (p *Plan) NumCounters() int { return len(p.Counters) }
+
+// KindsString renders the pattern kinds like Table 2's "type" column.
+func (p *Plan) KindsString() string {
+	seen := make(map[context.PatternKind]bool)
+	for i := range p.Counters {
+		seen[p.Counters[i].Kind] = true
+	}
+	var s string
+	for _, k := range []context.PatternKind{context.KindFixed, context.KindRegular, context.KindAll} {
+		if seen[k] {
+			if s != "" {
+				s += " & "
+			}
+			s += k.String()
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s + " ids"
+}
+
+// Validate checks plan consistency: slots inside the region, no overlap,
+// every site wired to a valid counter.
+func (p *Plan) Validate() error {
+	type span struct {
+		off, size uint64
+		what      string
+	}
+	var spans []span
+	for i := range p.Counters {
+		c := &p.Counters[i]
+		for id, s := range c.SlotOf {
+			if s.Size == 0 {
+				return fmt.Errorf("prefix: counter %d id %d has zero-size slot", i, id)
+			}
+			spans = append(spans, span{s.Offset, s.Size, fmt.Sprintf("counter %d id %d", i, id)})
+		}
+		if r := c.Recycle; r != nil {
+			if r.N <= 0 || r.SlotSize == 0 {
+				return fmt.Errorf("prefix: counter %d has invalid recycle plan %+v", i, *r)
+			}
+			spans = append(spans, span{r.Base, uint64(r.N) * r.SlotSize, fmt.Sprintf("counter %d recycle ring", i)})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].off < spans[j].off })
+	for i, s := range spans {
+		if s.off+s.size > p.RegionSize {
+			return fmt.Errorf("prefix: %s [%d,%d) exceeds region size %d", s.what, s.off, s.off+s.size, p.RegionSize)
+		}
+		if i > 0 && spans[i-1].off+spans[i-1].size > s.off {
+			return fmt.Errorf("prefix: %s overlaps %s", spans[i-1].what, s.what)
+		}
+	}
+	for site, c := range p.SiteCounter {
+		if c < 0 || c >= len(p.Counters) {
+			return fmt.Errorf("prefix: site %v wired to missing counter %d", site, c)
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the plan.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadJSON deserializes a plan written by WriteJSON.
+func ReadJSON(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("prefix: decoding plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Summary is the profile-analysis byproduct used for reporting (Figure 2
+// style output and Table 5 profiling columns).
+type Summary struct {
+	OHDS        []hds.Stream
+	Recon       *layout.Reconstitution
+	HotObjects  int
+	HotInHDS    int
+	CoveragePct float64
+}

@@ -1,0 +1,369 @@
+package prefix
+
+import (
+	"fmt"
+	"sort"
+
+	"prefix/internal/context"
+	"prefix/internal/hds"
+	"prefix/internal/hotness"
+	"prefix/internal/layout"
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// Miner selects the hot-data-stream detector.
+type Miner uint8
+
+const (
+	// MinerLCS is the paper's choice (§3.1).
+	MinerLCS Miner = iota
+	// MinerSequitur is the detector of the original HDS work, kept for
+	// the ablation comparison.
+	MinerSequitur
+)
+
+// PlanConfig controls planning.
+type PlanConfig struct {
+	Benchmark string
+	Variant   Variant
+	Hot       hotness.Config
+	HDS       hds.Config
+	Share     context.ShareConfig
+	Miner     Miner
+	// RecycleRatio is the allocs/max-live factor beyond which an
+	// All-pattern counter is converted to a recycling ring (§2.4). 0
+	// disables recycling.
+	RecycleRatio float64
+	// PromoteAll and PromoteMinAllocs control "all ids" site promotion:
+	// a site whose selected-hot fraction reaches PromoteAll (and which
+	// allocated at least PromoteMinAllocs objects) has all its instances
+	// treated as hot. 0 disables promotion.
+	PromoteAll       float64
+	PromoteMinAllocs uint64
+	// HybridContext enables the §2.2.2 hybrid mechanism: Fixed and
+	// Regular counters additionally record each hot instance's profiled
+	// call-stack signature, and the runtime requires both the id and the
+	// signature to match before placing an object. All-id counters are
+	// exempt (every instance is hot regardless of context).
+	HybridContext bool
+	// MaxRegionBytes caps the preallocated region ("the increase in the
+	// program's memory footprint ... can be controlled by limiting the
+	// size of the preallocated memory", §1). Recycling rings are kept —
+	// they are small and bounded — and the static placement is truncated
+	// from the end of the layout order (the coldest singletons) until it
+	// fits. 0 means unlimited.
+	MaxRegionBytes uint64
+}
+
+// DefaultPlanConfig returns the configuration used across the evaluation.
+func DefaultPlanConfig(benchmark string, v Variant) PlanConfig {
+	hotCfg := hotness.DefaultConfig()
+	// The planner prefers complete hot sets over a hard cap: recycling
+	// and "all ids" classification both depend on seeing every hot
+	// instance of a site, and region growth is bounded by recycling and
+	// by the coverage threshold.
+	hotCfg.MaxObjects = 0
+	return PlanConfig{
+		Benchmark:        benchmark,
+		Variant:          v,
+		Hot:              hotCfg,
+		HDS:              hds.DefaultConfig(),
+		Share:            context.DefaultShareConfig(),
+		Miner:            MinerLCS,
+		RecycleRatio:     4,
+		PromoteAll:       0.8,
+		PromoteMinAllocs: 8,
+	}
+}
+
+// SelectHot performs hot-object selection plus "all ids" promotion per
+// the configuration; BuildPlan uses it internally, and callers that need
+// the same ground truth for baseline accounting call it directly.
+func SelectHot(a *trace.Analysis, cfg PlanConfig) *hotness.Set {
+	hot := hotness.Select(a, cfg.Hot)
+	if cfg.PromoteAll > 0 {
+		hot.PromoteSites(a, cfg.PromoteAll, cfg.PromoteMinAllocs)
+	}
+	return hot
+}
+
+// BuildPlan runs the full profile analysis of Figure 8 on an analyzed
+// trace and produces a Plan plus the reporting Summary.
+func BuildPlan(a *trace.Analysis, cfg PlanConfig) (*Plan, *Summary, error) {
+	return BuildPlanFromHot(a, SelectHot(a, cfg), cfg)
+}
+
+// BuildPlanFromHot is BuildPlan with a caller-provided hot set (so one
+// selection can be shared between PreFix planning and the baseline
+// pollution accounting).
+func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Plan, *Summary, error) {
+	if len(hot.Objects) == 0 {
+		return nil, nil, fmt.Errorf("prefix: no hot objects found in profile")
+	}
+
+	// --- Hot data stream mining -------------------------------------
+	refs := hds.CollapseRefs(a.Refs, hot.IDs)
+	var ohds []hds.Stream
+	switch cfg.Miner {
+	case MinerSequitur:
+		ohds = hds.MineSequitur(refs, cfg.HDS)
+	default:
+		ohds = hds.MineLCS(refs, cfg.HDS)
+	}
+	accesses := make(map[mem.ObjectID]uint64, len(hot.Objects))
+	for _, o := range hot.Objects {
+		accesses[o.ID] = o.Accesses
+	}
+	ohds = hds.WeighByAccesses(ohds, accesses)
+
+	// --- Layout determination (Algorithm 1) -------------------------
+	recon := layout.Reconstitute(ohds)
+	if err := recon.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	// Placement order by variant.
+	hotOrder := make([]mem.ObjectID, 0, len(hot.Objects)) // allocation order
+	for _, o := range hot.Objects {
+		hotOrder = append(hotOrder, o.ID)
+	}
+	sort.Slice(hotOrder, func(i, j int) bool { return hotOrder[i] < hotOrder[j] })
+
+	inStream := hds.Objects(recon.RHDS)
+	var order []mem.ObjectID
+	switch cfg.Variant {
+	case VariantHot:
+		order = hotOrder
+	case VariantHDS:
+		order = recon.Order() // streams then split singletons
+	case VariantHDSHot:
+		order = recon.Order()
+		placed := make(map[mem.ObjectID]bool, len(order))
+		for _, o := range order {
+			placed[o] = true
+		}
+		for _, o := range hotOrder {
+			if !placed[o] {
+				order = append(order, o)
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("prefix: unknown variant %v", cfg.Variant)
+	}
+	// The placement can only target hot objects.
+	orderSet := make(map[mem.ObjectID]bool, len(order))
+	filtered := order[:0]
+	for _, o := range order {
+		if hot.IDs[o] && !orderSet[o] {
+			orderSet[o] = true
+			filtered = append(filtered, o)
+		}
+	}
+	order = filtered
+
+	// --- Context determination (§2.2) --------------------------------
+	// Identification is independent of the layout variant: every site
+	// that allocates hot objects is instrumented, and patterns are
+	// inferred over the full hot set. The variant only decides which
+	// objects receive static slots; recycling applies to qualifying
+	// counters under every variant ("all versions of PreFix perform the
+	// same" on the recycling benchmarks, §3.3).
+	hotSites := make(map[mem.SiteID]bool)
+	for site := range hot.PerSite {
+		hotSites[site] = true
+	}
+	var allocs []context.AllocRecord
+	for _, o := range a.Objects {
+		if !hotSites[o.Site] {
+			continue
+		}
+		allocs = append(allocs, context.AllocRecord{
+			Site:   o.Site,
+			Object: o.ID,
+			Hot:    hot.IDs[o.ID],
+		})
+	}
+	asn, err := context.BuildAssignment(allocs, cfg.Share)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- Recycling decision (§2.4) ------------------------------------
+	// Decide which counters become slot rings *before* assigning static
+	// offsets, so recycled objects never consume static region space
+	// (this is what lets leela/swissmap shrink their footprints).
+	liveness := hotness.AnalyzeLiveness(a)
+	type ringSpec struct {
+		n        int
+		slotSize uint64
+	}
+	rings := make(map[int]ringSpec) // assignment counter index -> ring
+	recycledObj := make(map[mem.ObjectID]bool)
+	if cfg.RecycleRatio > 0 {
+		for ci, c := range asn.Counters {
+			if c.Kind != context.KindAll || !recyclable(c.Sites, liveness, cfg.RecycleRatio) {
+				continue
+			}
+			n, slotSize := ringGeometry(c, a, liveness)
+			if n <= 0 || slotSize == 0 {
+				continue
+			}
+			rings[ci] = ringSpec{n: n, slotSize: slotSize}
+			for _, obj := range c.HotIDs {
+				recycledObj[obj] = true
+			}
+		}
+	}
+
+	// --- Slot assignment ----------------------------------------------
+	staticOrder := make([]mem.ObjectID, 0, len(order))
+	for _, id := range order {
+		if !recycledObj[id] {
+			staticOrder = append(staticOrder, id)
+		}
+	}
+	sizes := make(map[mem.ObjectID]uint64, len(staticOrder))
+	for _, id := range staticOrder {
+		o := a.Object(id)
+		sz := o.Size
+		if o.FinalSize > sz {
+			sz = o.FinalSize
+		}
+		sizes[id] = sz
+	}
+	if cfg.MaxRegionBytes > 0 {
+		// Reserve ring space first, then truncate the static placement
+		// (coldest-last layout order) to the remaining budget.
+		var ringBytes uint64
+		for _, r := range rings {
+			ringBytes += uint64(r.n) * r.slotSize
+		}
+		budget := uint64(0)
+		if cfg.MaxRegionBytes > ringBytes {
+			budget = cfg.MaxRegionBytes - ringBytes
+		}
+		var used uint64
+		kept := staticOrder[:0]
+		for _, id := range staticOrder {
+			sz := mem.AlignUp(maxU64p(sizes[id], layout.Align), layout.Align)
+			if used+sz > budget {
+				break
+			}
+			used += sz
+			kept = append(kept, id)
+		}
+		staticOrder = kept
+	}
+	placement := layout.Assign(staticOrder, sizes)
+	if err := placement.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	plan := &Plan{
+		Benchmark:   cfg.Benchmark,
+		Variant:     cfg.Variant,
+		SiteCounter: make(map[mem.SiteID]int),
+		Order:       order,
+	}
+	regionEnd := placement.Total
+
+	for ci, c := range asn.Counters {
+		pc := PlanCounter{
+			Sites: c.Sites,
+			Kind:  c.Kind,
+			Set:   c.Set,
+			Start: c.Pattern.Start,
+			Step:  c.Pattern.Step,
+			Count: c.Pattern.Count,
+		}
+		if r, ok := rings[ci]; ok {
+			pc.Recycle = &RecyclePlan{N: r.n, SlotSize: r.slotSize, Base: regionEnd}
+			regionEnd += uint64(r.n) * r.slotSize
+		} else {
+			pc.SlotOf = make(map[mem.Instance]Slot)
+			for id, obj := range c.HotIDs {
+				if off, ok := placement.Offsets[obj]; ok {
+					pc.SlotOf[id] = Slot{Offset: off, Size: placement.Sizes[obj]}
+				}
+			}
+			if cfg.HybridContext && c.Kind != context.KindAll {
+				pc.Sigs = make(map[mem.Instance]mem.StackSig, len(c.HotIDs))
+				for id, obj := range c.HotIDs {
+					pc.Sigs[id] = a.Object(obj).Stack
+				}
+			}
+		}
+		plan.Counters = append(plan.Counters, pc)
+		for _, s := range c.Sites {
+			plan.SiteCounter[s] = len(plan.Counters) - 1
+		}
+	}
+
+	plan.RegionSize = regionEnd
+	plan.PlacedObjects = len(placement.Offsets)
+	for _, id := range order {
+		if inStream[id] {
+			if _, still := placement.Offsets[id]; still {
+				plan.HDSObjects++
+			}
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+
+	hotInHDS := 0
+	for id := range hot.IDs {
+		if inStream[id] {
+			hotInHDS++
+		}
+	}
+	sum := &Summary{
+		OHDS:        ohds,
+		Recon:       recon,
+		HotObjects:  len(hot.Objects),
+		HotInHDS:    hotInHDS,
+		CoveragePct: hot.CoveragePct(),
+	}
+	return plan, sum, nil
+}
+
+func maxU64p(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func recyclable(sites []mem.SiteID, l hotness.Liveness, ratio float64) bool {
+	for _, s := range sites {
+		if !l.RecyclingCandidate(s, ratio) {
+			return false
+		}
+	}
+	return true
+}
+
+// ringGeometry sizes a recycling ring: N = peak simultaneously-live
+// objects across the counter's sites (so in the common case everything is
+// served from the ring), slot size = largest hot object of the counter.
+func ringGeometry(c *context.Counter, a *trace.Analysis, l hotness.Liveness) (int, uint64) {
+	var n uint64
+	for _, s := range c.Sites {
+		n += l.SiteMaxLive[s]
+	}
+	var slot uint64
+	for _, obj := range c.HotIDs {
+		o := a.Object(obj)
+		sz := o.Size
+		if o.FinalSize > sz {
+			sz = o.FinalSize
+		}
+		if sz > slot {
+			slot = sz
+		}
+	}
+	slot = mem.AlignUp(slot, layout.Align)
+	return int(n), slot
+}

@@ -1,0 +1,221 @@
+package prefix
+
+import (
+	"bytes"
+	"testing"
+
+	"prefix/internal/context"
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// synthTrace builds a profile with two tandem hot sites forming a stream
+// (objects visited together repeatedly), one churn site suitable for
+// recycling, and cold noise.
+func synthTrace() *trace.Analysis {
+	r := trace.NewRecorder()
+	addr := mem.Addr(0x10000)
+	alloc := func(site mem.SiteID, size uint64) mem.Addr {
+		a := addr
+		r.Alloc(site, mem.StackSig(site), a, size)
+		addr += mem.Addr(size + 16)
+		return a
+	}
+	// Tandem pair: 8 rounds of (site1, site2), all hot.
+	var pairs []mem.Addr
+	for i := 0; i < 8; i++ {
+		pairs = append(pairs, alloc(1, 32), alloc(2, 48))
+		alloc(9, 24) // cold noise between pairs
+	}
+	// Churn site 3: 12 allocations, at most 2 live, all well accessed.
+	var ring []mem.Addr
+	for i := 0; i < 12; i++ {
+		a := alloc(3, 64)
+		for k := 0; k < 12; k++ {
+			r.Access(a, 8, false)
+		}
+		ring = append(ring, a)
+		if len(ring) > 2 {
+			r.Free(ring[0])
+			ring = ring[1:]
+		}
+	}
+	// Repeated stream over the pairs.
+	for rep := 0; rep < 30; rep++ {
+		for _, p := range pairs {
+			r.Access(p, 8, false)
+		}
+	}
+	return trace.Analyze(r.Trace())
+}
+
+func TestBuildPlanEndToEnd(t *testing.T) {
+	for _, v := range []Variant{VariantHot, VariantHDS, VariantHDSHot} {
+		cfg := DefaultPlanConfig("synth", v)
+		plan, sum, err := BuildPlan(synthTrace(), cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if plan.Variant != v || plan.Benchmark != "synth" {
+			t.Errorf("plan meta wrong: %+v", plan)
+		}
+		if sum.HotObjects == 0 {
+			t.Error("no hot objects in summary")
+		}
+	}
+}
+
+func TestBuildPlanRecycling(t *testing.T) {
+	plan, _, err := BuildPlan(synthTrace(), DefaultPlanConfig("synth", VariantHot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundRing := false
+	for i := range plan.Counters {
+		c := &plan.Counters[i]
+		if c.Recycle != nil {
+			foundRing = true
+			if c.Kind != context.KindAll {
+				t.Error("only All counters may recycle")
+			}
+			if c.Recycle.N != 3 {
+				t.Errorf("ring N = %d, want 3 (peak live)", c.Recycle.N)
+			}
+		}
+	}
+	if !foundRing {
+		t.Error("churn site should have been converted to a recycling ring")
+	}
+}
+
+func TestBuildPlanRecyclingDisabled(t *testing.T) {
+	cfg := DefaultPlanConfig("synth", VariantHot)
+	cfg.RecycleRatio = 0
+	plan, _, err := BuildPlan(synthTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.Counters {
+		if plan.Counters[i].Recycle != nil {
+			t.Error("recycling must be disabled when ratio = 0")
+		}
+	}
+}
+
+func TestBuildPlanTandemSharing(t *testing.T) {
+	plan, _, err := BuildPlan(synthTrace(), DefaultPlanConfig("synth", VariantHot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sites 1 and 2 allocate in tandem and must share a counter.
+	if plan.SiteCounter[1] != plan.SiteCounter[2] {
+		t.Errorf("tandem sites not sharing: %v", plan.SiteCounter)
+	}
+	// The cold-noise site must not be instrumented.
+	if _, ok := plan.SiteCounter[9]; ok {
+		t.Error("cold site instrumented")
+	}
+}
+
+func TestBuildPlanVariantsDifferInPlacement(t *testing.T) {
+	hot, _, err := BuildPlan(synthTrace(), DefaultPlanConfig("synth", VariantHot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdsOnly, _, err := BuildPlan(synthTrace(), DefaultPlanConfig("synth", VariantHDS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.PlacedObjects < hdsOnly.PlacedObjects {
+		t.Errorf("Hot placement (%d) should cover at least the HDS placement (%d)",
+			hot.PlacedObjects, hdsOnly.PlacedObjects)
+	}
+}
+
+func TestBuildPlanNoHotObjects(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Alloc(1, 0, 0x1000, 16)
+	if _, _, err := BuildPlan(trace.Analyze(r.Trace()), DefaultPlanConfig("x", VariantHot)); err == nil {
+		t.Error("profile without hot objects should error")
+	}
+}
+
+func TestPlanJSONRoundtrip(t *testing.T) {
+	plan, _, err := BuildPlan(synthTrace(), DefaultPlanConfig("synth", VariantHDSHot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RegionSize != plan.RegionSize || got.NumCounters() != plan.NumCounters() ||
+		got.NumSites() != plan.NumSites() || got.Variant != plan.Variant {
+		t.Error("roundtrip lost plan structure")
+	}
+}
+
+func TestPlanValidateCatchesOverlap(t *testing.T) {
+	p := &Plan{
+		RegionSize: 64,
+		Counters: []PlanCounter{{
+			Sites: []mem.SiteID{1},
+			Kind:  context.KindFixed,
+			Set:   []mem.Instance{1, 2},
+			SlotOf: map[mem.Instance]Slot{
+				1: {Offset: 0, Size: 48},
+				2: {Offset: 32, Size: 16}, // overlaps slot 1
+			},
+		}},
+		SiteCounter: map[mem.SiteID]int{1: 0},
+	}
+	if p.Validate() == nil {
+		t.Error("overlapping slots accepted")
+	}
+}
+
+func TestPlanValidateCatchesOutOfRegion(t *testing.T) {
+	p := &Plan{
+		RegionSize: 32,
+		Counters: []PlanCounter{{
+			Sites:  []mem.SiteID{1},
+			Kind:   context.KindFixed,
+			Set:    []mem.Instance{1},
+			SlotOf: map[mem.Instance]Slot{1: {Offset: 16, Size: 32}},
+		}},
+		SiteCounter: map[mem.SiteID]int{1: 0},
+	}
+	if p.Validate() == nil {
+		t.Error("slot past region end accepted")
+	}
+}
+
+func TestPlanValidateCatchesBadWiring(t *testing.T) {
+	p := &Plan{SiteCounter: map[mem.SiteID]int{1: 3}}
+	if p.Validate() == nil {
+		t.Error("site wired to missing counter accepted")
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if VariantHot.String() != "prefix:hot" || VariantHDS.String() != "prefix:hds" || VariantHDSHot.String() != "prefix:hds+hot" {
+		t.Error("variant strings wrong")
+	}
+}
+
+func TestKindsString(t *testing.T) {
+	plan, _, err := BuildPlan(synthTrace(), DefaultPlanConfig("synth", VariantHot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.KindsString() == "none" {
+		t.Error("plan should report pattern kinds")
+	}
+}

@@ -1,0 +1,67 @@
+package prefix
+
+import (
+	"testing"
+)
+
+func TestMaxRegionBytesCapsPlacement(t *testing.T) {
+	a := synthTrace()
+	uncapped, _, err := BuildPlan(a, DefaultPlanConfig("synth", VariantHot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultPlanConfig("synth", VariantHot)
+	cfg.MaxRegionBytes = uncapped.RegionSize / 2
+	capped, _, err := BuildPlan(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.RegionSize > cfg.MaxRegionBytes {
+		t.Errorf("region %d exceeds cap %d", capped.RegionSize, cfg.MaxRegionBytes)
+	}
+	if capped.PlacedObjects >= uncapped.PlacedObjects {
+		t.Errorf("cap did not reduce placement: %d vs %d", capped.PlacedObjects, uncapped.PlacedObjects)
+	}
+	if capped.PlacedObjects == 0 {
+		t.Error("a half-size cap should still place the hottest objects")
+	}
+	if err := capped.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRegionBytesKeepsRings(t *testing.T) {
+	a := synthTrace()
+	cfg := DefaultPlanConfig("synth", VariantHot)
+	cfg.MaxRegionBytes = 300 // big enough only for the recycling ring
+	plan, _, err := BuildPlan(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasRing := false
+	for i := range plan.Counters {
+		if plan.Counters[i].Recycle != nil {
+			hasRing = true
+		}
+	}
+	if !hasRing {
+		t.Error("rings must survive a tight cap (they are small and bounded)")
+	}
+}
+
+func TestMaxRegionBytesRuntimeStillCorrect(t *testing.T) {
+	a := synthTrace()
+	cfg := DefaultPlanConfig("synth", VariantHot)
+	cfg.MaxRegionBytes = 128
+	plan, _, err := BuildPlan(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dropped objects must fall back to malloc without any error — the
+	// correctness argument of §2.3 is independent of the cap.
+	al := NewAllocator(plan, cost())
+	for i := 0; i < 50; i++ {
+		addr, _ := al.Malloc(1, 0, 32)
+		al.Free(addr)
+	}
+}

@@ -1,0 +1,148 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prefix/internal/hds"
+	"prefix/internal/layout"
+	"prefix/internal/mem"
+	"prefix/internal/pipeline"
+	"prefix/internal/trace"
+)
+
+func comparisons(t *testing.T) []*pipeline.Comparison {
+	t.Helper()
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = true
+	var cmps []*pipeline.Comparison
+	for _, name := range []string{"mcf", "ft"} {
+		cmp, err := pipeline.RunBenchmark(name, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmps = append(cmps, cmp)
+	}
+	return cmps
+}
+
+func TestTablesRender(t *testing.T) {
+	cmps := comparisons(t)
+	emitters := map[string]func(*bytes.Buffer) error{
+		"figure1":  func(b *bytes.Buffer) error { return Figure1(b, cmps) },
+		"table2":   func(b *bytes.Buffer) error { return Table2(b, cmps) },
+		"table3":   func(b *bytes.Buffer) error { return Table3(b, cmps) },
+		"table4":   func(b *bytes.Buffer) error { return Table4(b, cmps) },
+		"table5":   func(b *bytes.Buffer) error { return Table5(b, cmps) },
+		"table6":   func(b *bytes.Buffer) error { return Table6(b, cmps) },
+		"figure11": func(b *bytes.Buffer) error { return Figure11(b, cmps) },
+		"figure12": func(b *bytes.Buffer) error { return Figure12(b, cmps) },
+		"figure13": func(b *bytes.Buffer) error { return Figure13(b, cmps) },
+		"figure14": func(b *bytes.Buffer) error { return Figure14(b, cmps) },
+	}
+	for name, emit := range emitters {
+		var buf bytes.Buffer
+		if err := emit(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "mcf") || !strings.Contains(out, "ft") {
+			t.Errorf("%s output missing benchmark rows:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable3Averages(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3(&buf, comparisons(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AVERAGE") {
+		t.Error("table 3 must include the average row")
+	}
+}
+
+func TestFigure2Render(t *testing.T) {
+	ohds := []hds.Stream{
+		{Objects: []mem.ObjectID{1, 2}, Heat: 10},
+		{Objects: []mem.ObjectID{2, 3}, Heat: 5},
+	}
+	rec := layout.Reconstitute(ohds)
+	var buf bytes.Buffer
+	Figure2(&buf, ohds, rec)
+	out := buf.String()
+	for _, want := range []string{"OHDS", "RHDS", "layout order"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure10Render(t *testing.T) {
+	var buf bytes.Buffer
+	err := Figure10(&buf, "mcf", []pipeline.MTResult{{Threads: 2, BaselineCycles: 100, PreFixCycles: 90, ImprovementPct: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "+10.00%") {
+		t.Errorf("figure 10 output:\n%s", buf.String())
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	r := trace.NewRecorder()
+	r.Alloc(1, 0, 0x1000, 64)
+	r.Alloc(1, 0, 0x9000, 64)
+	for i := 0; i < 20; i++ {
+		r.Access(0x1000, 8, false)
+		r.Access(0x9000, 8, false)
+	}
+	h := BuildHeatmap(r.Trace(), 4, 4)
+	if h.Footprint != 0x8001 {
+		t.Errorf("footprint = %#x", h.Footprint)
+	}
+	var total uint64
+	for _, row := range h.Counts {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != 40 {
+		t.Errorf("plotted accesses = %d, want 40", total)
+	}
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "addr_bucket,time_bucket,count") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestHeatmapEmptyTrace(t *testing.T) {
+	h := BuildHeatmap(&trace.Trace{}, 4, 4)
+	if h.Footprint != 0 {
+		t.Error("empty trace should have zero footprint")
+	}
+}
+
+func TestBytesFormatting(t *testing.T) {
+	cases := map[uint64]string{
+		512:       "512B",
+		2048:      "2KB",
+		1 << 20:   "1.0MB",
+		600 << 20: "600MB",
+	}
+	for in, want := range cases {
+		if got := Bytes(in); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(-12.5) != "-12.50%" || Pct(3.125) != "+3.12%" {
+		t.Errorf("Pct formatting: %s %s", Pct(-12.5), Pct(3.125))
+	}
+}

@@ -1,0 +1,285 @@
+package simalloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+func TestMallocAlignmentAndDistinctness(t *testing.T) {
+	h := New(0x10000)
+	seen := make(map[mem.Addr]bool)
+	for i := 0; i < 100; i++ {
+		a := h.Malloc(uint64(i * 3))
+		if a == mem.NilAddr {
+			t.Fatal("nil address")
+		}
+		if !mem.IsAligned(uint64(a), Alignment) {
+			t.Fatalf("misaligned address %v", a)
+		}
+		if seen[a] {
+			t.Fatalf("address %v handed out twice while live", a)
+		}
+		seen[a] = true
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSizeMalloc(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(0)
+	b := h.Malloc(0)
+	if a == b {
+		t.Error("zero-size allocations must be distinct")
+	}
+	if h.SizeOf(a) < MinPayload {
+		t.Errorf("zero-size allocation got %d bytes", h.SizeOf(a))
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(64)
+	h.Malloc(64) // guard so the freed block does not merge into brk
+	if !h.Free(a) {
+		t.Fatal("free of live block failed")
+	}
+	b := h.Malloc(64)
+	if a != b {
+		t.Errorf("expected address reuse: freed %v, got %v", a, b)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(64)
+	if !h.Free(a) {
+		t.Fatal("first free failed")
+	}
+	if h.Free(a) {
+		t.Error("double free should report failure")
+	}
+	if h.Stats().FailedFrees != 1 {
+		t.Errorf("FailedFrees = %d, want 1", h.Stats().FailedFrees)
+	}
+}
+
+func TestFreeUnknownAddress(t *testing.T) {
+	h := New(0x10000)
+	if h.Free(0xdeadbeef) {
+		t.Error("freeing unknown address should fail")
+	}
+}
+
+func TestCoalescingMergesNeighbours(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(64)
+	b := h.Malloc(64)
+	c := h.Malloc(64)
+	h.Malloc(64) // tail guard
+	h.Free(a)
+	h.Free(c)
+	h.Free(b) // should merge with both neighbours
+	if h.Stats().Coalesces == 0 {
+		t.Error("expected coalescing")
+	}
+	// The merged block must satisfy a request the fragments could not:
+	// 3 payloads + 2 reclaimed headers.
+	big := h.Malloc(64*3 + 2*HeaderSize)
+	if big != a {
+		t.Errorf("expected merged block at %v, got %v", a, big)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitLargeBlock(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(1024)
+	h.Malloc(16) // guard
+	h.Free(a)
+	small := h.Malloc(64)
+	if small != a {
+		t.Errorf("small alloc should reuse split block start %v, got %v", a, small)
+	}
+	second := h.Malloc(64)
+	if !(second > small && second < a+1024) {
+		t.Errorf("second alloc should come from the remainder, got %v", second)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReallocGrowPreservesAccounting(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(64)
+	h.Malloc(16) // block growth in place
+	na, copied := h.Realloc(a, 256)
+	if na == a {
+		t.Error("grow with a neighbour should move")
+	}
+	if copied != 64 {
+		t.Errorf("copied = %d, want 64", copied)
+	}
+	if h.SizeOf(na) < 256 {
+		t.Errorf("new block too small: %d", h.SizeOf(na))
+	}
+	if h.Owns(a) {
+		t.Error("old block should be freed")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReallocShrinkInPlace(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(256)
+	na, _ := h.Realloc(a, 64)
+	if na != a {
+		t.Error("shrink should stay in place")
+	}
+}
+
+func TestReallocNil(t *testing.T) {
+	h := New(0x10000)
+	a, copied := h.Realloc(mem.NilAddr, 128)
+	if a == mem.NilAddr || copied != 0 {
+		t.Errorf("Realloc(nil) = %v,%d", a, copied)
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	h := New(0x10000)
+	var addrs []mem.Addr
+	for i := 0; i < 10; i++ {
+		addrs = append(addrs, h.Malloc(1024))
+	}
+	peak := h.Stats().PeakBytes
+	for _, a := range addrs {
+		h.Free(a)
+	}
+	if h.Stats().PeakBytes != peak {
+		t.Error("peak must not drop after frees")
+	}
+	if h.Stats().LiveBytes != 0 {
+		t.Errorf("live bytes = %d after freeing everything", h.Stats().LiveBytes)
+	}
+	// Reusing freed space must not raise the peak.
+	h.Malloc(1024)
+	if h.Stats().PeakBytes != peak {
+		t.Error("reuse should not raise peak")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(32)
+	b := h.Malloc(32)
+	h.Free(a)
+	h.Realloc(b, 64)
+	s := h.Stats()
+	if s.Mallocs < 2 || s.Frees < 1 || s.Reallocs != 1 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+func TestOwns(t *testing.T) {
+	h := New(0x10000)
+	a := h.Malloc(64)
+	if !h.Owns(a) {
+		t.Error("should own live block")
+	}
+	h.Free(a)
+	if h.Owns(a) {
+		t.Error("should not own freed block")
+	}
+}
+
+// TestRandomOperationsInvariant drives the allocator with random
+// malloc/free/realloc sequences and validates the internal invariants and
+// that live blocks never overlap.
+func TestRandomOperationsInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		h := New(0x10000)
+		type blk struct {
+			addr mem.Addr
+			size uint64
+		}
+		var live []blk
+		for op := 0; op < 400; op++ {
+			switch {
+			case len(live) == 0 || rng.Float64() < 0.5:
+				size := rng.Uint64n(600)
+				a := h.Malloc(size)
+				live = append(live, blk{a, h.SizeOf(a)})
+			case rng.Float64() < 0.6:
+				i := rng.Intn(len(live))
+				if !h.Free(live[i].addr) {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			default:
+				i := rng.Intn(len(live))
+				na, _ := h.Realloc(live[i].addr, rng.Uint64n(800))
+				live[i] = blk{na, h.SizeOf(na)}
+			}
+		}
+		if err := h.CheckInvariants(); err != nil {
+			t.Logf("invariant: %v", err)
+			return false
+		}
+		// No two live blocks may overlap.
+		for i := range live {
+			for j := i + 1; j < len(live); j++ {
+				ri := mem.Range{Start: live[i].addr, Size: live[i].size}
+				rj := mem.Range{Start: live[j].addr, Size: live[j].size}
+				if ri.Overlaps(rj) {
+					t.Logf("overlap: %v %v", ri, rj)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinFor(t *testing.T) {
+	if binFor(16) == binFor(4096) {
+		t.Error("small and large sizes should use different bins")
+	}
+	for size := uint64(16); size <= 1<<20; size *= 2 {
+		b := binFor(size)
+		if b < 0 || b >= numBins {
+			t.Fatalf("binFor(%d) = %d out of range", size, b)
+		}
+	}
+	if binFor(1<<40) >= numBins {
+		t.Error("huge size overflows bins")
+	}
+}
+
+func TestBrkGrowsMonotonically(t *testing.T) {
+	h := New(0x10000)
+	prev := h.Brk()
+	for i := 0; i < 50; i++ {
+		h.Malloc(128)
+		if h.Brk() < prev {
+			t.Fatal("brk moved backwards")
+		}
+		prev = h.Brk()
+	}
+	if h.Base() != 0x10000 {
+		t.Errorf("base = %v", h.Base())
+	}
+}

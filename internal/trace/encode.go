@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"prefix/internal/mem"
+)
+
+// Binary trace file format (all integers unsigned varints):
+//
+//	magic "PFXT" | version | instr | eventCount | events...
+//
+// Each event starts with a tag byte (Kind, with the high bit carrying the
+// Write flag for accesses) followed by kind-specific fields. Addresses are
+// delta-encoded against the previous address of the same kind to keep files
+// compact — profiling traces reach tens of millions of events.
+const (
+	magic   = "PFXT"
+	version = 1
+)
+
+// Write serializes the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(version); err != nil {
+		return err
+	}
+	if err := putUvarint(t.Instr); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	var prevAddr [5]uint64 // previous address per kind, for delta encoding
+	for _, ev := range t.Events {
+		tag := byte(ev.Kind)
+		if ev.Kind == KindAccess && ev.Write {
+			tag |= 0x80
+		}
+		if err := bw.WriteByte(tag); err != nil {
+			return err
+		}
+		delta := uint64(ev.Addr) - prevAddr[ev.Kind]
+		prevAddr[ev.Kind] = uint64(ev.Addr)
+		if err := putUvarint(zigzag(delta)); err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case KindAlloc:
+			if err := putUvarint(uint64(ev.Site)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(ev.Stack)); err != nil {
+				return err
+			}
+			if err := putUvarint(ev.Size); err != nil {
+				return err
+			}
+		case KindRealloc:
+			if err := putUvarint(uint64(ev.Addr2)); err != nil {
+				return err
+			}
+			if err := putUvarint(ev.Size); err != nil {
+				return err
+			}
+		case KindAccess:
+			if err := putUvarint(ev.Size); err != nil {
+				return err
+			}
+		case KindFree:
+			// address only
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, errors.New("trace: bad magic (not a PreFix trace file)")
+	}
+	ver, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	t := &Trace{}
+	if t.Instr, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Cap the preallocation: the header count is untrusted (a corrupt or
+	// malicious file could claim 2⁶⁴ events); append grows the slice as
+	// real events actually decode.
+	capHint := count
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t.Events = make([]Event, 0, capHint)
+	var prevAddr [5]uint64
+	for i := uint64(0); i < count; i++ {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		var ev Event
+		ev.Kind = Kind(tag & 0x7f)
+		if ev.Kind < KindAlloc || ev.Kind > KindAccess {
+			return nil, fmt.Errorf("trace: event %d: bad kind %d", i, ev.Kind)
+		}
+		ev.Write = tag&0x80 != 0
+		zd, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prevAddr[ev.Kind] += unzigzag(zd)
+		ev.Addr = mem.Addr(prevAddr[ev.Kind])
+		switch ev.Kind {
+		case KindAlloc:
+			site, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ev.Site = mem.SiteID(site)
+			stack, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ev.Stack = mem.StackSig(stack)
+			if ev.Size, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		case KindRealloc:
+			a2, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			ev.Addr2 = mem.Addr(a2)
+			if ev.Size, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		case KindAccess:
+			if ev.Size, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+		t.Events = append(t.Events, ev)
+	}
+	return t, nil
+}
+
+// zigzag maps a two's-complement delta to an unsigned value with small
+// magnitudes near zero, so varints stay short for both directions.
+func zigzag(d uint64) uint64 {
+	s := int64(d)
+	return uint64(s<<1) ^ uint64(s>>63)
+}
+
+func unzigzag(z uint64) uint64 {
+	return uint64(int64(z>>1) ^ -int64(z&1))
+}

@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the trace decoder: it must never
+// panic, and anything it accepts must re-encode losslessly.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid trace and a few corruptions of it.
+	var buf bytes.Buffer
+	if err := record().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("PFXT"))
+	if len(valid) > 8 {
+		truncated := append([]byte(nil), valid[:len(valid)/2]...)
+		f.Add(truncated)
+		flipped := append([]byte(nil), valid...)
+		flipped[len(flipped)/2] ^= 0xff
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is fine
+		}
+		var out bytes.Buffer
+		if err := tr.Write(&out); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if len(tr2.Events) != len(tr.Events) || tr2.Instr != tr.Instr {
+			t.Fatal("re-encode roundtrip lost events")
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tr := record()
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"alloc", "free", "realloc", "access", "read", "write", "site=1", "site=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != len(tr.Events)+1 {
+		t.Errorf("lines = %d, want %d (events + header)", lines, len(tr.Events)+1)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := record().Summarize()
+	if s.Allocs != 4 || s.Frees != 1 || s.Reallocs != 1 || s.Accesses != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Writes != 2 {
+		t.Errorf("writes = %d, want 2", s.Writes)
+	}
+	if s.Sites != 2 {
+		t.Errorf("sites = %d, want 2", s.Sites)
+	}
+	if s.Bytes != 64+32+16+48 {
+		t.Errorf("bytes = %d", s.Bytes)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	var tr Trace
+	s := tr.Summarize()
+	if s.Events != 0 || s.Allocs != 0 || s.Sites != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}

@@ -1,0 +1,220 @@
+// Package trace defines the memory-trace model produced by profiling runs
+// and consumed by every analysis in the PreFix pipeline (paper Figure 8:
+// "Alloc & Access Trace").
+//
+// A trace is an ordered stream of events: allocations (with static malloc
+// site and call-stack signature), frees, reallocs, and memory accesses.
+// Event index doubles as logical time. The analyzer reconstructs a table of
+// dynamic objects from the stream — address reuse by the allocator is
+// resolved by liveness, so every dynamic object receives a unique ObjectID
+// in allocation order, which is exactly the paper's notion of identity
+// ("static malloc site + dynamic allocation instance").
+package trace
+
+import (
+	"prefix/internal/mem"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+const (
+	KindAlloc Kind = iota + 1
+	KindFree
+	KindRealloc
+	KindAccess
+)
+
+// Event is one trace record. Field use depends on Kind:
+//
+//	Alloc:   Site, Stack, Addr, Size
+//	Free:    Addr
+//	Realloc: Addr (old), Addr2 (new), Size (new size)
+//	Access:  Addr, Size (access width), Write
+type Event struct {
+	Kind  Kind
+	Site  mem.SiteID
+	Stack mem.StackSig
+	Addr  mem.Addr
+	Addr2 mem.Addr
+	Size  uint64
+	Write bool
+}
+
+// Trace is an in-memory event stream.
+type Trace struct {
+	Events []Event
+	// Instr is the total dynamic instruction count of the traced run
+	// (memory accesses + compute), used for Table 6 style accounting.
+	Instr uint64
+}
+
+// Recorder accumulates events during a profiling run. The machine layer
+// feeds it; analyses read the resulting Trace.
+type Recorder struct {
+	tr Trace
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Alloc records an allocation event.
+func (r *Recorder) Alloc(site mem.SiteID, stack mem.StackSig, addr mem.Addr, size uint64) {
+	r.tr.Events = append(r.tr.Events, Event{Kind: KindAlloc, Site: site, Stack: stack, Addr: addr, Size: size})
+}
+
+// Free records a deallocation event.
+func (r *Recorder) Free(addr mem.Addr) {
+	r.tr.Events = append(r.tr.Events, Event{Kind: KindFree, Addr: addr})
+}
+
+// Realloc records a reallocation from old to new with the new size.
+func (r *Recorder) Realloc(old, new mem.Addr, size uint64) {
+	r.tr.Events = append(r.tr.Events, Event{Kind: KindRealloc, Addr: old, Addr2: new, Size: size})
+}
+
+// Access records a memory reference.
+func (r *Recorder) Access(addr mem.Addr, size uint64, write bool) {
+	r.tr.Events = append(r.tr.Events, Event{Kind: KindAccess, Addr: addr, Size: size, Write: write})
+}
+
+// AddInstr accumulates dynamic instruction count.
+func (r *Recorder) AddInstr(n uint64) { r.tr.Instr += n }
+
+// Trace returns the recorded trace. The recorder must not be used after.
+func (r *Recorder) Trace() *Trace { return &r.tr }
+
+// Object describes one dynamic heap object reconstructed from a trace.
+type Object struct {
+	ID       mem.ObjectID
+	Site     mem.SiteID
+	Stack    mem.StackSig
+	Instance mem.Instance // n-th allocation of Site (1-based)
+	Size     uint64       // size at allocation (final size after reallocs in FinalSize)
+	Addr     mem.Addr     // address at allocation
+	AllocAt  int          // event index of allocation
+	FreeAt   int          // event index of free, -1 if never freed
+	Accesses uint64       // number of access events landing in the object
+	Reads    uint64
+	Writes   uint64
+	// FinalSize is the size after the last realloc (== Size if none).
+	FinalSize uint64
+}
+
+// Analysis is the result of reconstructing objects from a trace.
+type Analysis struct {
+	Objects []*Object // index = ObjectID-1
+	// Refs is the object-granular reference string: for every access event
+	// that hit a live heap object, the ObjectID, in trace order. Accesses
+	// to non-heap addresses are dropped.
+	Refs []mem.ObjectID
+	// RefAt[i] is the event index of Refs[i] (for time-bucketed heatmaps).
+	RefAt []int
+	// HeapAccesses / TotalAccesses split access events into those that hit
+	// a live object and all of them.
+	HeapAccesses  uint64
+	TotalAccesses uint64
+	// SiteAllocs counts dynamic allocations per site.
+	SiteAllocs map[mem.SiteID]uint64
+	// SiteObjects lists, per site, the ObjectIDs it allocated in order —
+	// index i is the object with Instance i+1.
+	SiteObjects map[mem.SiteID][]mem.ObjectID
+	// MaxLive and per-site peaks of simultaneously-live objects (for the
+	// recycling planner).
+	MaxLive     uint64
+	SiteMaxLive map[mem.SiteID]uint64
+	Instr       uint64
+}
+
+// Analyze reconstructs dynamic objects and the object-granular reference
+// string from a trace.
+func Analyze(t *Trace) *Analysis {
+	a := &Analysis{
+		SiteAllocs:  make(map[mem.SiteID]uint64),
+		SiteObjects: make(map[mem.SiteID][]mem.ObjectID),
+		SiteMaxLive: make(map[mem.SiteID]uint64),
+		Instr:       t.Instr,
+	}
+	// live maps base address -> object for containment queries. Objects may
+	// be any size, so interval lookup is needed; we keep a sorted structure
+	// lazily via a map from line to objects would be complex. Instead keep
+	// a map from exact base and a secondary interval index: because the
+	// workloads access addresses inside [base, base+size), we track live
+	// intervals in an ordered slice with binary search.
+	idx := newIntervalIndex()
+	var live uint64
+	siteLive := make(map[mem.SiteID]uint64)
+
+	for i, ev := range t.Events {
+		switch ev.Kind {
+		case KindAlloc:
+			a.SiteAllocs[ev.Site]++
+			obj := &Object{
+				ID:        mem.ObjectID(len(a.Objects) + 1),
+				Site:      ev.Site,
+				Stack:     ev.Stack,
+				Instance:  mem.Instance(a.SiteAllocs[ev.Site]),
+				Size:      ev.Size,
+				FinalSize: ev.Size,
+				Addr:      ev.Addr,
+				AllocAt:   i,
+				FreeAt:    -1,
+			}
+			a.Objects = append(a.Objects, obj)
+			a.SiteObjects[ev.Site] = append(a.SiteObjects[ev.Site], obj.ID)
+			idx.insert(ev.Addr, ev.Size, obj)
+			live++
+			siteLive[ev.Site]++
+			if live > a.MaxLive {
+				a.MaxLive = live
+			}
+			if siteLive[ev.Site] > a.SiteMaxLive[ev.Site] {
+				a.SiteMaxLive[ev.Site] = siteLive[ev.Site]
+			}
+		case KindFree:
+			if obj := idx.remove(ev.Addr); obj != nil {
+				obj.FreeAt = i
+				live--
+				siteLive[obj.Site]--
+			}
+		case KindRealloc:
+			if obj := idx.remove(ev.Addr); obj != nil {
+				obj.FinalSize = ev.Size
+				obj.Addr = ev.Addr2
+				idx.insert(ev.Addr2, ev.Size, obj)
+			}
+		case KindAccess:
+			a.TotalAccesses++
+			if obj := idx.find(ev.Addr); obj != nil {
+				a.HeapAccesses++
+				obj.Accesses++
+				if ev.Write {
+					obj.Writes++
+				} else {
+					obj.Reads++
+				}
+				a.Refs = append(a.Refs, obj.ID)
+				a.RefAt = append(a.RefAt, i)
+			}
+		}
+	}
+	return a
+}
+
+// Object returns the object with the given id, or nil.
+func (a *Analysis) Object(id mem.ObjectID) *Object {
+	if id == 0 || int(id) > len(a.Objects) {
+		return nil
+	}
+	return a.Objects[id-1]
+}
+
+// ObjectBySiteInstance returns the object allocated as the instance-th
+// allocation of site, or nil.
+func (a *Analysis) ObjectBySiteInstance(site mem.SiteID, instance mem.Instance) *Object {
+	objs := a.SiteObjects[site]
+	if instance == 0 || int(instance) > len(objs) {
+		return nil
+	}
+	return a.Object(objs[instance-1])
+}

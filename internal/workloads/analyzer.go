@@ -1,0 +1,137 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// analyzer models the Ptrdist anagram/analyzer-style pointer-intensive
+// benchmark: a static-analysis worklist algorithm over a constraint graph
+// with ~10^5 tiny nodes. Nearly every access is a pointer dereference into
+// a small heap object, so packing the hot set yields the paper's second
+// largest win (−58.9%).
+//
+// Table 2: [fixed & all ids, (5, 3)] — two tandem symbol-table sites with
+// fixed ids, an all-hot constraint-node site, and two tandem all-hot
+// worklist-cell sites sharing a counter.
+type analyzer struct{}
+
+func (analyzer) Name() string { return "analyzer" }
+
+const (
+	analyzerSiteTabA mem.SiteID = iota + 1
+	analyzerSiteTabB
+	analyzerSiteNode
+	analyzerSiteCellA
+	analyzerSiteCellB
+	analyzerSiteCold
+)
+
+const (
+	analyzerFnParse mem.FuncID = iota + 801
+	analyzerFnSolve
+)
+
+const (
+	analyzerNodeSize = 40
+	analyzerCellSize = 24
+	analyzerTabSize  = 2048
+)
+
+func (w analyzer) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	cold := newColdPool(env, rng, analyzerSiteCold, 0, 250)
+	// The constraint graph is input data: its size does not scale with
+	// the run length (profiling uses the same graph for fewer solver
+	// rounds, so the fixed/all ids carry over to the long run).
+	const n = 6000
+
+	env.Enter(analyzerFnParse)
+	// Symbol tables: the two sites allocate in tandem; the first pair is
+	// hot, later pairs are per-file scratch (fixed ids {1,2} shared).
+	var tabA, tabB hotObj
+	for i := 0; i < 5; i++ {
+		if i == 0 {
+			tabA = hotObj{env.Malloc(analyzerSiteTabA, analyzerTabSize), analyzerTabSize}
+			tabB = hotObj{env.Malloc(analyzerSiteTabB, analyzerTabSize), analyzerTabSize}
+			env.Write(tabA.addr, 64)
+			env.Write(tabB.addr, 64)
+		} else {
+			a := env.Malloc(analyzerSiteTabA, 256)
+			b := env.Malloc(analyzerSiteTabB, 256)
+			env.Write(a, 32)
+			env.Write(b, 32)
+			env.Free(a)
+			env.Free(b)
+		}
+	}
+	// Constraint nodes (all hot), interleaved with parse noise. The
+	// worklist cells come later from their own tandem pair of sites.
+	nodes := make([]hotObj, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = hotObj{env.Malloc(analyzerSiteNode, analyzerNodeSize), analyzerNodeSize}
+		env.Write(nodes[i].addr, 24)
+		if i%2 == 1 {
+			cold.churn(1, 112)
+		}
+	}
+	cells := make([]hotObj, n/2)
+	for i := range cells {
+		site := analyzerSiteCellA
+		if i%2 == 1 {
+			site = analyzerSiteCellB
+		}
+		cells[i] = hotObj{env.Malloc(site, analyzerCellSize), analyzerCellSize}
+		env.Write(cells[i].addr, 16)
+	}
+	env.Leave()
+
+	// Solve: worklist iterations propagating constraints. Each round
+	// walks the worklist cells, follows them to pseudo-random nodes, and
+	// consults the symbol tables.
+	env.Enter(analyzerFnSolve)
+	rounds := scaled(22, cfg.Scale)
+	for r := 0; r < rounds; r++ {
+		tabA.visit(env, 64)
+		tabB.visit(env, 64)
+		for i := range cells {
+			cells[i].visit(env, 16)
+			a := nodes[(i*7+r*13)%n]
+			b := nodes[(i*11+5)%n]
+			a.visit(env, 32)
+			b.visit(env, 16)
+			env.Compute(4)
+		}
+		// Propagation sweep in allocation order (the dominant stream).
+		for i := 0; i < n; i++ {
+			nodes[i].visit(env, 24)
+		}
+		cold.touch(20)
+	}
+	env.Leave()
+
+	for i := range cells {
+		env.Free(cells[i].addr)
+	}
+	for i := 0; i < n; i++ {
+		env.Free(nodes[i].addr)
+	}
+	env.Free(tabA.addr)
+	env.Free(tabB.addr)
+	cold.drain()
+}
+
+func init() {
+	register(Spec{
+		Program: analyzer{},
+		Profile: Config{Scale: 0.12, Seed: 91},
+		Long:    Config{Scale: 1.0, Seed: 9901},
+		Bench:   Config{Scale: 0.35, Seed: 9901},
+		Binary: BinaryInfo{
+			TextBytes:   80 << 10,
+			MallocSites: 12, FreeSites: 10, ReallocSites: 1,
+		},
+		BaselineSeconds: 18.08,
+	})
+}

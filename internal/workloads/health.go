@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// health models the Olden health benchmark: a hierarchy of villages, each
+// with linked lists of patient records that the simulation traverses every
+// timestep. The benchmark's signature (§3.3) is a very large number of
+// *equally hot* objects: every patient record and list cell is touched
+// every step, so PreFix:Hot captures essentially everything while
+// PreFix:HDS finds few streams (the traversal sequence barely repeats at
+// stream granularity). HDS pollution "helps" here — the chosen sites
+// allocate only hot objects, so redirecting everything behaves like HALO.
+//
+// Table 2: [fixed & all ids, (3, 2)] — the village site has fixed hot
+// instances (the upper levels of the hierarchy), while the patient and
+// list-cell sites are all-hot and share a counter.
+type health struct{}
+
+func (health) Name() string { return "health" }
+
+const (
+	healthSiteVillage mem.SiteID = iota + 1
+	healthSitePatient
+	healthSiteCell
+	healthSiteCold
+)
+
+const (
+	healthFnBuild mem.FuncID = iota + 601
+	healthFnSim
+)
+
+const (
+	healthVillages    = 30
+	healthHotVillages = 10 // upper hierarchy levels: the fixed ids
+	healthPatientSize = 48
+	healthCellSize    = 24
+	healthVillageSize = 256
+)
+
+type healthState struct {
+	villages []hotObj
+	// patients[v] / cells[v] are village v's list, in allocation order.
+	patients [][]hotObj
+	cells    [][]hotObj
+}
+
+func (w health) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	cold := newColdPool(env, rng, healthSiteCold, 0, 300)
+	// The village hierarchy is input data: fixed size across profiling
+	// and evaluation runs (only the simulated time scales).
+	const perVillage = 400
+
+	st := &healthState{}
+	env.Enter(healthFnBuild)
+	for v := 0; v < healthVillages; v++ {
+		st.villages = append(st.villages, hotObj{env.Malloc(healthSiteVillage, healthVillageSize), healthVillageSize})
+		env.Write(st.villages[v].addr, 64)
+		var ps, cs []hotObj
+		for i := 0; i < perVillage; i++ {
+			// Patient and its list cell in tandem (shared counter).
+			p := hotObj{env.Malloc(healthSitePatient, healthPatientSize), healthPatientSize}
+			c := hotObj{env.Malloc(healthSiteCell, healthCellSize), healthCellSize}
+			env.Write(p.addr, 32)
+			env.Write(c.addr, 16)
+			ps = append(ps, p)
+			cs = append(cs, c)
+			// Parser/setup noise between patients scatters them in the
+			// baseline heap.
+			if i%2 == 0 {
+				cold.churn(1, 80)
+			}
+		}
+		st.patients = append(st.patients, ps)
+		st.cells = append(st.cells, cs)
+	}
+	env.Leave()
+
+	// Simulation: every step visits the hot villages and traverses every
+	// patient list — cell then record, in list order.
+	steps := scaled(26, cfg.Scale)
+	env.Enter(healthFnSim)
+	for s := 0; s < steps; s++ {
+		for v := 0; v < healthVillages; v++ {
+			if v < healthHotVillages {
+				st.villages[v].visit(env, 48)
+			}
+			for i := range st.patients[v] {
+				st.cells[v][i].visit(env, healthCellSize)
+				st.patients[v][i].visit(env, 32)
+				env.Compute(10)
+			}
+		}
+		cold.touch(12)
+	}
+	env.Leave()
+
+	for v := range st.patients {
+		for i := range st.patients[v] {
+			env.Free(st.patients[v][i].addr)
+			env.Free(st.cells[v][i].addr)
+		}
+		env.Free(st.villages[v].addr)
+	}
+	cold.drain()
+}
+
+func init() {
+	register(Spec{
+		Program: health{},
+		Profile: Config{Scale: 0.25, Seed: 71},
+		Long:    Config{Scale: 1.0, Seed: 7703},
+		Bench:   Config{Scale: 0.3, Seed: 7703},
+		Binary: BinaryInfo{
+			TextBytes:   96 << 10,
+			MallocSites: 10, FreeSites: 8, ReallocSites: 0,
+		},
+		BaselineSeconds: 32.73,
+	})
+}

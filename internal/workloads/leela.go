@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// leela models the SPEC 541.leela Go engine: Monte-Carlo tree search whose
+// inner loop allocates a board copy plus three auxiliary structures per
+// playout, uses them intensively, and frees them — millions of times.
+//
+// Per the paper: 4 sites sharing 1 counter with "all ids" (Table 2);
+// only ~5 objects are ever simultaneously live, so object recycling
+// (Figure 7) serves virtually every allocation from a 5-slot ring. This is
+// the benchmark with the paper's largest malloc/free avoidance (Table 6)
+// and the Figure 9 heatmap: the baseline's hot accesses wander over ~10 MB
+// of heap as cold churn steals freed blocks, while the optimized binary's
+// hot accesses stay inside a ~0.2 MB region.
+type leela struct{}
+
+func (leela) Name() string { return "leela" }
+
+const (
+	leelaSiteBoard mem.SiteID = iota + 1
+	leelaSiteMoves
+	leelaSiteScore
+	leelaSitePath
+	leelaSiteCold
+)
+
+const (
+	leelaFnPlayout mem.FuncID = iota + 201
+	leelaFnExpand
+)
+
+const (
+	leelaBoardSize = 1024
+	leelaMovesSize = 512
+	leelaScoreSize = 256
+	leelaPathSize  = 128
+)
+
+func (w leela) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	cold := newColdPool(env, rng, leelaSiteCold, leelaFnExpand, 800)
+	playouts := scaled(22000, cfg.Scale)
+
+	for p := 0; p < playouts; p++ {
+		env.Enter(leelaFnPlayout)
+		board := hotObj{env.Malloc(leelaSiteBoard, leelaBoardSize), leelaBoardSize}
+		moves := hotObj{env.Malloc(leelaSiteMoves, leelaMovesSize), leelaMovesSize}
+		score := hotObj{env.Malloc(leelaSiteScore, leelaScoreSize), leelaScoreSize}
+		path := hotObj{env.Malloc(leelaSitePath, leelaPathSize), leelaPathSize}
+
+		// Playout: write the board, walk moves/score/path repeatedly.
+		for off := uint64(0); off < board.size; off += 64 {
+			env.Write(board.addr+mem.Addr(off), 64)
+		}
+		depth := 6 + rng.Intn(6)
+		for d := 0; d < depth; d++ {
+			env.Read(board.addr+mem.Addr(rng.Uint64n(board.size-64)&^7), 16)
+			moves.visit(env, 32)
+			env.Write(moves.addr, 16)
+			score.visit(env, 24)
+			env.Write(score.addr, 16)
+			path.visit(env, 16)
+			env.Write(path.addr, 16)
+			env.Compute(300)
+		}
+		env.Free(board.addr)
+		env.Free(moves.addr)
+		env.Free(score.addr)
+		env.Free(path.addr)
+		env.Leave()
+
+		// Tree expansion: cold UCT node churn between playouts. The cold
+		// allocations reuse the just-freed playout blocks in the
+		// baseline heap, so the next playout's board lands at a new
+		// address — the Figure 9 wandering.
+		if p%2 == 0 {
+			cold.churn(3, 700)
+		}
+		if p%16 == 5 {
+			cold.touch(8)
+		}
+	}
+	cold.drain()
+}
+
+func init() {
+	register(Spec{
+		Program: leela{},
+		Profile: Config{Scale: 0.08, Seed: 31},
+		Long:    Config{Scale: 1.0, Seed: 3301},
+		Bench:   Config{Scale: 0.2, Seed: 3301},
+		Binary: BinaryInfo{
+			TextBytes:   1 << 20,
+			MallocSites: 140, FreeSites: 120, ReallocSites: 6,
+		},
+		BaselineSeconds: 555.8,
+	})
+}

@@ -1,0 +1,237 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// mcf models SPEC 429/505.mcf, the paper's running example (§2.2 and
+// Figure 3): a network-flow solver with six hot objects from six distinct
+// malloc sites.
+//
+//   - Sites 1–3 allocate the input network itself — the node array, the
+//     arc array, and the dummy-arc array — as the *first* allocation of
+//     each site; the same sites then allocate cold per-parse scratch
+//     buffers (the "30 other object allocations with the same call-stack
+//     signature" that defeat calling-context identification).
+//   - Sites 4–6 allocate the three spanning-tree structures of the
+//     primal network simplex optimizer, rebuilt periodically during the
+//     solve, so every instance of these sites is hot ("all ids") and the
+//     trio recycles through a three-slot ring.
+//
+// The two site groups allocate in tandem, so each group shares one
+// counter — six sites, two counters, matching Table 2's "(6, 2)".
+//
+// The simplex loop walks (nodes, arcs) together — one hot data stream —
+// and touches the three small tree structures together — the second
+// stream. Multithreaded runs have thread 0 allocate and all threads
+// traverse, the sharing structure §3.3 describes for mcf.
+type mcf struct{}
+
+func (mcf) Name() string { return "mcf" }
+
+// Site and function ids.
+const (
+	mcfSiteNodes mem.SiteID = iota + 1
+	mcfSiteArcs
+	mcfSiteDummy
+	mcfSiteTreeA
+	mcfSiteTreeB
+	mcfSiteTreeC
+	mcfSiteCold
+)
+
+const (
+	mcfFnParse mem.FuncID = iota + 1
+	mcfFnSimplex
+	mcfFnRefresh
+)
+
+type mcfState struct {
+	nodes, arcs, dummy  hotObj
+	treeA, treeB, treeC hotObj
+	cold                *coldPool
+}
+
+// build runs the allocation phase on env and returns the hot handles.
+func (w mcf) build(env machine.Env, rng *xrand.Rand, cfg Config) *mcfState {
+	st := &mcfState{}
+	// fn 0: cold churn happens under the *same* call stack as the hot
+	// parse allocations, reproducing the calling-context imprecision of
+	// Figure 3 (HALO directs this churn into the hot pool).
+	st.cold = newColdPool(env, rng, mcfSiteCold, 0, 400)
+
+	env.Enter(mcfFnParse)
+	// Figure 3 shape: a parse loop in which the *first* iteration's
+	// allocations are the graph itself and later iterations allocate
+	// cold scratch with the very same sites and call stack.
+	parseRounds := 10
+	for i := 0; i < parseRounds; i++ {
+		if i == 0 {
+			st.nodes = hotObj{env.Malloc(mcfSiteNodes, 48*1024), 48 * 1024}
+			st.arcs = hotObj{env.Malloc(mcfSiteArcs, 96*1024), 96 * 1024}
+			st.dummy = hotObj{env.Malloc(mcfSiteDummy, 16*1024), 16 * 1024}
+			env.Write(st.nodes.addr, 64)
+			env.Write(st.arcs.addr, 64)
+			env.Write(st.dummy.addr, 64)
+		} else {
+			a := env.Malloc(mcfSiteNodes, 256)
+			b := env.Malloc(mcfSiteArcs, 256)
+			c := env.Malloc(mcfSiteDummy, 128)
+			env.Write(a, 16)
+			env.Write(b, 16)
+			env.Write(c, 16)
+			// Scratch is freed at the end of the parse round.
+			env.Free(a)
+			env.Free(b)
+			env.Free(c)
+		}
+		st.cold.churn(30, 96)
+	}
+	env.Leave()
+
+	env.Enter(mcfFnSimplex)
+	// The simplex setup allocates the three small spanning-tree
+	// structures in tandem. They are rebuilt periodically during the
+	// solve (rebuildTrees), so *every* instance of these three sites is
+	// hot: the sites share one counter with "all ids" and qualify for
+	// object recycling — the baseline instead loses the freed blocks to
+	// bookkeeping churn and each rebuild lands at a cache-cold address.
+	w.allocTrees(env, st)
+	st.cold.churn(10, 128)
+	env.Leave()
+	return st
+}
+
+func (w mcf) allocTrees(env machine.Env, st *mcfState) {
+	st.treeA = hotObj{env.Malloc(mcfSiteTreeA, 48), 48}
+	st.treeB = hotObj{env.Malloc(mcfSiteTreeB, 48), 48}
+	st.treeC = hotObj{env.Malloc(mcfSiteTreeC, 32), 32}
+	env.Write(st.treeA.addr, 32)
+	env.Write(st.treeB.addr, 32)
+	env.Write(st.treeC.addr, 24)
+}
+
+// rebuildTrees models a spanning-tree refresh: the old structures are
+// discarded and fresh ones allocated. The interleaved bookkeeping churn
+// claims the freed blocks in the baseline heap.
+func (w mcf) rebuildTrees(env machine.Env, st *mcfState) {
+	env.Enter(mcfFnSimplex)
+	env.Free(st.treeA.addr)
+	env.Free(st.treeB.addr)
+	env.Free(st.treeC.addr)
+	st.cold.churn(4, 80)
+	w.allocTrees(env, st)
+	env.Leave()
+}
+
+// iterate runs one simplex pricing iteration on env.
+func (w mcf) iterate(env machine.Env, rng *xrand.Rand, st *mcfState) {
+	env.Enter(mcfFnSimplex)
+	// Stream 1: nodes and arcs walked together (pricing scan).
+	for k := 0; k < 12; k++ {
+		ni := rng.Uint64n(st.nodes.size - 64)
+		ai := rng.Uint64n(st.arcs.size - 64)
+		env.Read(st.nodes.addr+mem.Addr(ni&^7), 16)
+		env.Read(st.arcs.addr+mem.Addr(ai&^7), 16)
+		env.Compute(12)
+	}
+	env.Read(st.dummy.addr+mem.Addr(rng.Uint64n(st.dummy.size-64)&^7), 16)
+	// Stream 2: the three small tree structures are consulted together
+	// on every pivot; packed into adjacent lines they reload with fewer
+	// misses after the pricing scan has churned the L1.
+	for k := 0; k < 10; k++ {
+		st.treeA.visit(env, 24)
+		st.treeB.visit(env, 24)
+		st.treeC.visit(env, 24)
+		env.Compute(8)
+		if k%3 == 1 {
+			// Pivot bookkeeping between consultations evicts.
+			ai := rng.Uint64n(st.arcs.size - 64)
+			env.Read(st.arcs.addr+mem.Addr(ai&^7), 16)
+		}
+	}
+	env.Leave()
+}
+
+func (w mcf) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	st := w.build(env, rng, cfg)
+	iters := scaled(2200, cfg.Scale)
+	for i := 0; i < iters; i++ {
+		w.iterate(env, rng, st)
+		if i%8 == 7 {
+			w.rebuildTrees(env, st)
+		}
+		if i%4 == 1 {
+			st.cold.touch(2)
+		}
+		if i%97 == 0 {
+			env.Enter(mcfFnRefresh)
+			st.cold.churn(12, 160)
+			env.Leave()
+		}
+	}
+	st.cold.drain()
+	env.Free(st.nodes.addr)
+	env.Free(st.arcs.addr)
+	env.Free(st.dummy.addr)
+	env.Free(st.treeA.addr)
+	env.Free(st.treeB.addr)
+	env.Free(st.treeC.addr)
+}
+
+// RunMT implements MultiThreaded: thread 0 allocates the hot objects and
+// every thread runs pricing iterations over the shared structures.
+func (w mcf) RunMT(envs []machine.Env, cfg Config) {
+	if len(envs) == 1 {
+		w.Run(envs[0], cfg)
+		return
+	}
+	rng := xrand.New(cfg.Seed)
+	st := w.build(envs[0], rng, cfg)
+	iters := scaled(2200, cfg.Scale)
+	rngs := make([]*xrand.Rand, len(envs))
+	colds := make([]*coldPool, len(envs))
+	for t := range envs {
+		rngs[t] = xrand.New(cfg.Seed + uint64(t)*7919)
+		colds[t] = newColdPool(envs[t], rngs[t], mcfSiteCold, mcfFnRefresh, 100)
+	}
+	// Work is partitioned across threads; iterations interleave
+	// round-robin, modeling concurrent traversal of the shared graph.
+	for i := 0; i < iters; i++ {
+		t := i % len(envs)
+		shared := *st
+		shared.cold = colds[t]
+		w.iterate(envs[t], rngs[t], &shared)
+		if i%8 == 7 {
+			// The allocating thread owns the tree rebuilds.
+			w.rebuildTrees(envs[0], st)
+		}
+	}
+	for _, c := range colds {
+		c.drain()
+	}
+	st.cold.drain()
+	envs[0].Free(st.nodes.addr)
+	envs[0].Free(st.arcs.addr)
+	envs[0].Free(st.dummy.addr)
+	envs[0].Free(st.treeA.addr)
+	envs[0].Free(st.treeB.addr)
+	envs[0].Free(st.treeC.addr)
+}
+
+func init() {
+	register(Spec{
+		Program: mcf{},
+		Profile: Config{Scale: 0.12, Seed: 11},
+		Long:    Config{Scale: 1.0, Seed: 1109},
+		Bench:   Config{Scale: 0.3, Seed: 1109},
+		Binary: BinaryInfo{
+			TextBytes:   410 << 10,
+			MallocSites: 22, FreeSites: 18, ReallocSites: 2,
+		},
+		BaselineSeconds: 11.74,
+	})
+}

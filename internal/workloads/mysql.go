@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// mysql models the database benchmark: a server whose hot state is a small
+// number of large, long-lived cache structures — table-cache descriptors
+// chained together and consulted on every query, plus big buffer pools
+// that are scanned with strong intra-object locality.
+//
+// Per the paper: 10 instrumented sites sharing 6 counters with fixed ids
+// (Table 2); the hot objects are "very large with significant intra-object
+// spatial locality", so object reordering contributes little and
+// PreFix:Hot is the best variant; preallocation grows peak memory
+// substantially (Table 6: the sort/join buffers are transient in the
+// baseline but permanently reserved by PreFix).
+type mysql struct{}
+
+func (mysql) Name() string { return "mysql" }
+
+const (
+	// Descriptor sites: three table-cache descriptor chains, each chain
+	// allocated in tandem by three sites (open_table / fill_share /
+	// attach_index), so each chain's sites share one counter.
+	mysqlSiteDesc1 mem.SiteID = iota + 1
+	mysqlSiteDesc2
+	mysqlSiteDesc3
+	mysqlSiteDesc4
+	mysqlSiteDesc5
+	mysqlSiteDesc6
+	// Buffer sites: four per-phase buffer pools (sort, join, key cache,
+	// net buffer), each its own counter.
+	mysqlSiteBufSort
+	mysqlSiteBufJoin
+	mysqlSiteBufKey
+	mysqlSiteBufNet
+	mysqlSiteCold
+)
+
+const (
+	mysqlFnOpenTable mem.FuncID = iota + 101
+	mysqlFnQuery
+	mysqlFnPhase
+)
+
+const (
+	mysqlDescSize = 32
+	mysqlBufSize  = 32 * 1024
+)
+
+type mysqlState struct {
+	descs []hotObj // hot table-cache descriptors
+	bufs  []hotObj // long-lived hot buffer pools (one per buffer site)
+	cold  *coldPool
+	rng   *xrand.Rand
+}
+
+func (w mysql) buildServer(env machine.Env, rng *xrand.Rand) *mysqlState {
+	st := &mysqlState{rng: rng}
+	st.cold = newColdPool(env, rng, mysqlSiteCold, 0, 600)
+
+	env.Enter(mysqlFnOpenTable)
+	// Two chain groups: {Desc1,Desc2,Desc3} then {Desc4,Desc5,Desc6}.
+	// Each group's first eight tandem rounds allocate the hot table
+	// descriptors; later rounds allocate cold per-connection copies from
+	// the same sites (and the same call stack — the HALO pollution
+	// source). The per-table dictionaries allocated between descriptors
+	// scatter each descriptor onto its own page of the baseline heap.
+	groups := [][]mem.SiteID{
+		{mysqlSiteDesc1, mysqlSiteDesc2, mysqlSiteDesc3},
+		{mysqlSiteDesc4, mysqlSiteDesc5, mysqlSiteDesc6},
+	}
+	for _, g := range groups {
+		rounds := 24
+		for r := 0; r < rounds; r++ {
+			for _, site := range g {
+				st.cold.churn(2, 2000)
+				a := env.Malloc(site, mysqlDescSize)
+				env.Write(a, 24)
+				if r < 16 {
+					st.descs = append(st.descs, hotObj{a, mysqlDescSize})
+				} else {
+					env.Free(a)
+				}
+			}
+		}
+	}
+	env.Leave()
+
+	// Long-lived buffer pools (key cache, join cache, …): one big hot
+	// buffer per site, allocated up front and scanned throughout the
+	// run. The staggered second hot instance for sort/key arrives later
+	// (mysqlHotPhase), keeping the four buffer counters separate.
+	env.Enter(mysqlFnPhase)
+	for _, site := range [4]mem.SiteID{mysqlSiteBufSort, mysqlSiteBufJoin, mysqlSiteBufKey, mysqlSiteBufNet} {
+		b := hotObj{env.Malloc(site, mysqlBufSize), mysqlBufSize}
+		for off := uint64(0); off < b.size; off += 256 {
+			env.Write(b.addr+mem.Addr(off), 64)
+		}
+		st.bufs = append(st.bufs, b)
+		st.cold.churn(4, 300)
+	}
+	env.Leave()
+	return st
+}
+
+// phase runs one buffer phase. Hot phases allocate another big buffer
+// pool that stays live for the rest of the run (it joins the scan
+// rotation); cold phases allocate a small per-query buffer, use it once
+// and free it.
+func (w mysql) phase(env machine.Env, st *mysqlState, site mem.SiteID, hot bool) {
+	env.Enter(mysqlFnPhase)
+	if hot {
+		buf := hotObj{env.Malloc(site, mysqlBufSize), mysqlBufSize}
+		for off := uint64(0); off < buf.size; off += 256 {
+			env.Write(buf.addr+mem.Addr(off), 64)
+		}
+		st.bufs = append(st.bufs, buf)
+		env.Leave()
+		return
+	}
+	buf := hotObj{env.Malloc(site, 8*1024), 8 * 1024}
+	env.Write(buf.addr, 64)
+	env.Write(buf.addr+4096, 64)
+	env.Compute(800)
+	env.Free(buf.addr)
+	env.Leave()
+}
+
+// query is the per-request hot path: scan a window of a buffer pool
+// (intra-object locality), and periodically re-walk the full table-cache
+// descriptor chains (inter-object locality: the PreFix win).
+func (w mysql) query(env machine.Env, st *mysqlState, q int) {
+	env.Enter(mysqlFnQuery)
+	b := st.bufs[q%len(st.bufs)]
+	off := uint64((q*4096)%int(b.size-4096)) &^ 63
+	for o := off; o < off+4096; o += 64 {
+		env.Read(b.addr+mem.Addr(o), 64)
+	}
+	env.Compute(600)
+	if q%8 == 3 {
+		for _, d := range st.descs {
+			d.visit(env, 24)
+			env.Compute(6)
+		}
+	}
+	env.Leave()
+}
+
+func (w mysql) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	st := w.buildServer(env, rng)
+	queries := scaled(2600, cfg.Scale)
+	bufSites := []mem.SiteID{mysqlSiteBufSort, mysqlSiteBufJoin, mysqlSiteBufKey, mysqlSiteBufNet}
+	bufCount := make(map[mem.SiteID]int)
+	for q := 0; q < queries; q++ {
+		w.query(env, st, q)
+		if q%40 == 7 {
+			site := bufSites[(q/40)%len(bufSites)]
+			bufCount[site]++
+			w.phase(env, st, site, mysqlHotPhase(site, bufCount[site]))
+		}
+		if q%8 == 2 {
+			st.cold.touch(3)
+		}
+		if q%64 == 13 {
+			st.cold.churn(10, 200)
+		}
+	}
+	st.cold.drain()
+	for _, b := range st.bufs {
+		env.Free(b.addr)
+	}
+	for _, d := range st.descs {
+		env.Free(d.addr)
+	}
+}
+
+// RunMT implements MultiThreaded: every thread is a connection worker
+// with its own descriptor chains and buffer phases ("the hot objects are
+// allocated and accessed by a unique thread").
+func (w mysql) RunMT(envs []machine.Env, cfg Config) {
+	if len(envs) == 1 {
+		w.Run(envs[0], cfg)
+		return
+	}
+	states := make([]*mysqlState, len(envs))
+	for t := range envs {
+		states[t] = w.buildServer(envs[t], xrand.New(cfg.Seed+uint64(t)*104729))
+	}
+	queries := scaled(2600, cfg.Scale)
+	bufSites := []mem.SiteID{mysqlSiteBufSort, mysqlSiteBufJoin, mysqlSiteBufKey, mysqlSiteBufNet}
+	bufCount := make(map[mem.SiteID]int)
+	for q := 0; q < queries; q++ {
+		t := q % len(envs)
+		st := states[t]
+		w.query(envs[t], st, q)
+		if q%40 == 7 {
+			site := bufSites[(q/40)%len(bufSites)]
+			bufCount[site]++
+			w.phase(envs[t], st, site, mysqlHotPhase(site, bufCount[site]))
+		}
+	}
+	for t, st := range states {
+		st.cold.drain()
+		for _, d := range st.descs {
+			envs[t].Free(d.addr)
+		}
+		for _, b := range st.bufs {
+			envs[t].Free(b.addr)
+		}
+	}
+}
+
+// mysqlHotPhase reports whether the n-th buffer phase of a site grows the
+// hot buffer pool: the sort and key-cache subsystems add a second big
+// buffer on their second phase. The staggered instances keep the four
+// buffer-site counters from merging.
+func mysqlHotPhase(site mem.SiteID, n int) bool {
+	switch site {
+	case mysqlSiteBufSort, mysqlSiteBufKey:
+		return n == 2
+	default:
+		return false
+	}
+}
+
+func init() {
+	register(Spec{
+		Program: mysql{},
+		Profile: Config{Scale: 0.15, Seed: 21},
+		Long:    Config{Scale: 1.0, Seed: 2203},
+		Bench:   Config{Scale: 0.25, Seed: 2203},
+		Binary: BinaryInfo{
+			TextBytes:   24 << 20,
+			MallocSites: 1800, FreeSites: 1400, ReallocSites: 120,
+			BoltOrigText: true,
+		},
+		BaselineSeconds: 152.7,
+	})
+}

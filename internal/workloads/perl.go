@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// perl models SPEC 500.perlbench: an interpreter whose hot state is a
+// population of small scalar/array/hash value headers traversed by the
+// opcode dispatch loop, drowned in an enormous churn of short-lived
+// temporaries from the very same allocation sites (the paper measures
+// ~33 million objects polluting the HDS region, Table 4).
+//
+// Table 2: [regular & fixed, (15, 7)]. Three interpreter pools allocate
+// header/body pairs from a single site each — the headers are the hot
+// half, giving Regular ids {1,3,5,…} — and four groups of three sites
+// allocate interpreter tables in tandem (fixed ids). PreFix:HDS is the
+// best variant: the trailing hot singletons are short-lived and placing
+// them at the region's end (HDS+Hot) forfeits their colocation with the
+// cold temporaries they are accessed with.
+type perl struct{}
+
+func (perl) Name() string { return "perl" }
+
+const (
+	// Pool sites (Regular ids): SV, AV, HV pools.
+	perlSiteSV mem.SiteID = iota + 1
+	perlSiteAV
+	perlSiteHV
+	// Table sites (fixed ids): four tandem triples.
+	perlSiteTab0 // 4..15 via offset arithmetic
+)
+
+const perlTabSites = 12
+
+const (
+	perlFnPool mem.FuncID = iota + 901
+	perlFnTables
+	perlFnRun
+	perlFnTemp
+)
+
+const (
+	perlHdrSize      = 48
+	perlBodySize     = 80
+	perlTabSize      = 512
+	perlPairsPerPool = 220 // hot headers per pool: ids 1,3,5,…,439
+)
+
+func (w perl) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+
+	// --- Interpreter startup: pools and tables ----------------------
+	env.Enter(perlFnPool)
+	pools := [3]mem.SiteID{perlSiteSV, perlSiteAV, perlSiteHV}
+	var headers [3][]hotObj // hot: traversed by the dispatch loop
+	var bodies [3][]mem.Addr
+	for pi, site := range pools {
+		for i := 0; i < perlPairsPerPool; i++ {
+			h := hotObj{env.Malloc(site, perlHdrSize), perlHdrSize}
+			b := env.Malloc(site, perlBodySize) // cold body: odd/even split
+			env.Write(h.addr, 32)
+			env.Write(b, 32)
+			headers[pi] = append(headers[pi], h)
+			bodies[pi] = append(bodies[pi], b)
+		}
+	}
+	env.Leave()
+
+	env.Enter(perlFnTables)
+	var tabs []hotObj // 12 hot tables: 4 tandem triples
+	for g := 0; g < 4; g++ {
+		rounds := 6
+		for r := 0; r < rounds; r++ {
+			for s := 0; s < 3; s++ {
+				site := perlSiteTab0 + mem.SiteID(g*3+s)
+				if r == 0 {
+					t := hotObj{env.Malloc(site, perlTabSize), perlTabSize}
+					env.Write(t.addr, 64)
+					tabs = append(tabs, t)
+				} else {
+					a := env.Malloc(site, 128)
+					env.Write(a, 16)
+					env.Free(a)
+				}
+			}
+		}
+	}
+	env.Leave()
+
+	// --- Opcode dispatch loop ----------------------------------------
+	// Each "op" touches a stream of headers across the three pools, a
+	// table triple, and churns temporaries from the SV site (the
+	// pollution source: same site as the hot headers).
+	ops := scaled(9000, cfg.Scale)
+	var temps []mem.Addr
+	for op := 0; op < ops; op++ {
+		env.Enter(perlFnRun)
+		// Stream: headers k, k+1, k+2 of each pool, in pool order. The
+		// opcode sequence strides through the header population, so each
+		// header's reuse distance exceeds the L1 and its reload cost
+		// depends on the layout.
+		k := (op * 7) % (perlPairsPerPool - 2)
+		for pi := 0; pi < 3; pi++ {
+			headers[pi][k].visit(env, 32)
+			headers[pi][k+1].visit(env, 32)
+			headers[pi][k+2].visit(env, 24)
+		}
+		g := (op / 8) % 4
+		tabs[g*3].visit(env, 48)
+		tabs[g*3+1].visit(env, 48)
+		tabs[g*3+2].visit(env, 32)
+		// An occasional body access pairs a hot header with its cold
+		// body — the layout relationship HDS+Hot's singleton placement
+		// disturbs. Rare enough that bodies stay cold.
+		if op%31 == 4 {
+			env.Read(bodies[(op % 3)][k], 24)
+		}
+		env.Compute(40)
+		env.Leave()
+
+		// Temporary churn from the SV pool site.
+		env.Enter(perlFnTemp)
+		for t := 0; t < 6; t++ {
+			a := env.Malloc(perlSiteSV, 40+rng.Uint64n(40))
+			env.Write(a, 16)
+			temps = append(temps, a)
+		}
+		for len(temps) > 48 {
+			env.Free(temps[0])
+			temps = temps[1:]
+		}
+		env.Leave()
+	}
+	for _, a := range temps {
+		env.Free(a)
+	}
+	for pi := range headers {
+		for i := range headers[pi] {
+			env.Free(headers[pi][i].addr)
+			env.Free(bodies[pi][i])
+		}
+	}
+	for _, t := range tabs {
+		env.Free(t.addr)
+	}
+}
+
+func init() {
+	register(Spec{
+		Program: perl{},
+		Profile: Config{Scale: 0.12, Seed: 101},
+		Long:    Config{Scale: 1.0, Seed: 10103},
+		Bench:   Config{Scale: 0.3, Seed: 10103},
+		Binary: BinaryInfo{
+			TextBytes:   2 << 20,
+			MallocSites: 380, FreeSites: 300, ReallocSites: 40,
+		},
+		BaselineSeconds: 106.0,
+	})
+}

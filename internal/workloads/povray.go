@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// povray models the SPEC 511.povray ray tracer: per-ray temporary
+// structures — the ray itself, an intersection stack, colour vectors and
+// texture scratch — allocated from eight sites at the top of the trace
+// recursion, used through the shading computation, and freed when the ray
+// completes.
+//
+// Per the paper: 8 sites sharing 1 counter with "all ids" (Table 2),
+// with ~20 objects simultaneously live (recursion depth × per-ray
+// structures). Gains are modest (−3.44%) because shading is compute-heavy
+// relative to the allocator traffic, and every PreFix variant performs the
+// same because recycling dominates.
+type povray struct{}
+
+func (povray) Name() string { return "povray" }
+
+const (
+	povraySiteRay mem.SiteID = iota + 1 // per-ray sites occupy 1..8
+	povraySiteIsect
+	povraySiteColorA
+	povraySiteColorB
+	povraySiteColorC
+	povraySiteTexA
+	povraySiteTexB
+	povraySiteShadow
+	povraySiteCold mem.SiteID = 20
+)
+
+const (
+	povrayFnTrace mem.FuncID = iota + 401
+	povrayFnScene
+)
+
+var povraySizes = [8]uint64{160, 512, 96, 96, 96, 256, 256, 128}
+
+func (w povray) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	cold := newColdPool(env, rng, povraySiteCold, povrayFnScene, 6000)
+	// Scene geometry: a large population probed uniformly, so each
+	// geometry object individually stays far colder than the per-ray
+	// temporaries.
+	cold.churn(6000, 300)
+
+	rays := scaled(9000, cfg.Scale)
+	for r := 0; r < rays; r++ {
+		w.trace(env, rng, cold, 0)
+		// Texture cache churn between rays.
+		if r%8 == 3 {
+			cold.churn(2, 200)
+		}
+	}
+	cold.drain()
+}
+
+// trace shades one ray, recursing for reflections: nested live sets of
+// per-ray temporaries are what push the simultaneously-live count to ~20.
+func (w povray) trace(env machine.Env, rng *xrand.Rand, cold *coldPool, depth int) {
+	env.Enter(povrayFnTrace)
+	// Ray temporaries from the eight sites in tandem.
+	var objs [8]hotObj
+	for i := 0; i < 8; i++ {
+		objs[i] = hotObj{env.Malloc(povraySiteRay+mem.SiteID(i), povraySizes[i]), povraySizes[i]}
+		env.Write(objs[i].addr, min64(povraySizes[i], 32))
+	}
+	// Shading: compute-dominant, touching the temporaries and the scene
+	// geometry.
+	bounces := 2 + rng.Intn(3)
+	for b := 0; b < bounces; b++ {
+		for i := 0; i < 8; i++ {
+			objs[i].visit(env, 32)
+			env.Write(objs[i].addr, 16) // accumulate shading results
+		}
+		cold.touch(1)
+		env.Compute(12000) // intersection mathematics dominates shading
+	}
+	// Reflection/refraction rays recurse while this ray's temporaries
+	// stay live.
+	if depth < 2 && rng.Bool(0.3) {
+		w.trace(env, rng, cold, depth+1)
+	}
+	for i := 0; i < 8; i++ {
+		env.Free(objs[i].addr)
+	}
+	env.Leave()
+}
+
+func init() {
+	register(Spec{
+		Program: povray{},
+		Profile: Config{Scale: 0.08, Seed: 51},
+		Long:    Config{Scale: 1.0, Seed: 5501},
+		Bench:   Config{Scale: 0.25, Seed: 5501},
+		Binary: BinaryInfo{
+			TextBytes:   1200 << 10,
+			MallocSites: 220, FreeSites: 180, ReallocSites: 10,
+			BoltOrigText: true,
+		},
+		BaselineSeconds: 502.3,
+	})
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// roms models SPEC 554.roms, an ocean-model stencil code: every timestep
+// allocates a set of twenty work arrays (one per field: velocity
+// components, tracers, diffusion scratch, …), sweeps them several times,
+// and frees them at the end of the step.
+//
+// Per the paper: 20 sites sharing 1 counter with "all ids" (Table 2), a
+// textbook recycling opportunity (§2.4) — the ring keeps every timestep's
+// arrays at the same 20 addresses, so later timesteps find their working
+// set cache-resident, while the baseline's arrays drift through the heap
+// as I/O buffer churn steals the freed blocks.
+type roms struct{}
+
+func (roms) Name() string { return "roms" }
+
+const (
+	romsSiteField0 mem.SiteID = iota + 1 // fields occupy sites 1..20
+	romsSiteCold   mem.SiteID = 40
+)
+
+const (
+	romsFnStep mem.FuncID = iota + 301
+	romsFnIO
+)
+
+const (
+	romsFields    = 20
+	romsFieldSize = 8 * 1024
+)
+
+func (w roms) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	// The I/O history buffers are long-lived: they permanently consume
+	// the work arrays' freed blocks, so the baseline's arrays drift to
+	// fresh (cache-cold) addresses every timestep.
+	cold := newColdPool(env, rng, romsSiteCold, romsFnIO, 1<<30)
+	steps := scaled(260, cfg.Scale)
+
+	for s := 0; s < steps; s++ {
+		env.Enter(romsFnStep)
+		// Allocate the step's work arrays in tandem: sites 1..20.
+		fields := make([]hotObj, romsFields)
+		for f := 0; f < romsFields; f++ {
+			fields[f] = hotObj{env.Malloc(romsSiteField0+mem.SiteID(f), romsFieldSize), romsFieldSize}
+		}
+		// Stencil sweeps: strided passes over each field (a 5-point
+		// stencil reads every other line of each array — a stride the
+		// next-line prefetcher cannot fully cover), plus a cross-field
+		// pass reading corresponding offsets of neighbouring fields.
+		for pass := 0; pass < 2; pass++ {
+			for f := 0; f < romsFields; f++ {
+				for off := uint64(0); off < fields[f].size; off += 128 {
+					env.Read(fields[f].addr+mem.Addr(off), 32)
+				}
+				env.Compute(2000)
+			}
+		}
+		for off := uint64(0); off < romsFieldSize; off += 256 {
+			for f := 0; f < romsFields; f += 4 {
+				env.Read(fields[f].addr+mem.Addr(off), 32)
+			}
+			env.Compute(16)
+		}
+		for f := 0; f < romsFields; f++ {
+			env.Free(fields[f].addr)
+		}
+		env.Leave()
+
+		// I/O and forcing-data history between steps permanently claims
+		// some of the freed work-array blocks, so a share of next step's
+		// arrays land at fresh, cache-cold addresses.
+		cold.churn(1, 6*1024)
+	}
+	cold.drain()
+}
+
+func init() {
+	register(Spec{
+		Program: roms{},
+		Profile: Config{Scale: 0.1, Seed: 41},
+		Long:    Config{Scale: 1.0, Seed: 4409},
+		Bench:   Config{Scale: 0.25, Seed: 4409},
+		Binary: BinaryInfo{
+			TextBytes:   2 << 20,
+			MallocSites: 260, FreeSites: 210, ReallocSites: 4,
+		},
+		BaselineSeconds: 390.2,
+	})
+}

@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// swissmap models the fleetbench SwissMap benchmark: hash-table backing
+// arrays that are created in small groups, probed heavily, and destroyed —
+// with the whole pattern repeating for the benchmark's duration.
+//
+// Per the paper (§2.2.1): "in swissmap there is a single malloc site that
+// generates a large number of objects to which object recycling can be
+// applied, as a small group of objects are created, used, and freed, and
+// this pattern is repeated. Thus all ids are of interest and a single
+// counter is used." Table 2: [all ids, (1, 1)]. Recycling halves peak
+// memory (Table 6: 619 → 318 MB) because the baseline heap fragments
+// under the churn while the ring reuses 8 fixed slots.
+type swissmap struct{}
+
+func (swissmap) Name() string { return "swissmap" }
+
+const (
+	swissSiteTable mem.SiteID = 1
+	swissSiteCold  mem.SiteID = 9
+)
+
+const (
+	swissFnRehash mem.FuncID = iota + 501
+	swissFnBench
+)
+
+const (
+	swissGroup     = 8
+	swissTableSize = 16 * 1024
+)
+
+func (w swissmap) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	cold := newColdPool(env, rng, swissSiteCold, swissFnBench, 150)
+	rounds := scaled(520, cfg.Scale)
+
+	for round := 0; round < rounds; round++ {
+		env.Enter(swissFnRehash)
+		// Create the group of tables from the single site.
+		tables := make([]hotObj, swissGroup)
+		for i := range tables {
+			tables[i] = hotObj{env.Malloc(swissSiteTable, swissTableSize), swissTableSize}
+			// Initialize control bytes.
+			for off := uint64(0); off < swissTableSize; off += 256 {
+				env.Write(tables[i].addr+mem.Addr(off), 16)
+			}
+		}
+		env.Leave()
+
+		// Probe phase: random lookups across the group.
+		env.Enter(swissFnBench)
+		probes := 600
+		for p := 0; p < probes; p++ {
+			t := tables[rng.Intn(swissGroup)]
+			slot := rng.Uint64n(swissTableSize-64) &^ 15
+			env.Read(t.addr+mem.Addr(slot), 16)    // control bytes
+			env.Read(t.addr+mem.Addr(slot)+16, 32) // entry payload
+			env.Compute(50)
+		}
+		env.Leave()
+
+		for i := range tables {
+			env.Free(tables[i].addr)
+		}
+		// Inter-round churn: benchmark bookkeeping with odd sizes claims
+		// and splits the freed table blocks, fragmenting the baseline
+		// heap so the next round's tables extend the break.
+		cold.churn(12, 9000)
+	}
+	cold.drain()
+}
+
+func init() {
+	register(Spec{
+		Program: swissmap{},
+		Profile: Config{Scale: 0.08, Seed: 61},
+		Long:    Config{Scale: 1.0, Seed: 6607},
+		Bench:   Config{Scale: 0.25, Seed: 6607},
+		Binary: BinaryInfo{
+			TextBytes:   600 << 10,
+			MallocSites: 60, FreeSites: 50, ReallocSites: 2,
+		},
+		BaselineSeconds: 2.275,
+	})
+}

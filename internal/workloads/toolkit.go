@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// toolkit holds the generator helpers shared by the benchmark programs.
+
+// coldPool simulates the cold side of a heap-intensive program: a churning
+// population of objects that are allocated, occasionally touched, and
+// freed. Interleaving cold allocations between hot ones is what scatters
+// hot objects across the baseline heap.
+type coldPool struct {
+	env   machine.Env
+	rng   *xrand.Rand
+	site  mem.SiteID
+	fn    mem.FuncID
+	objs  []mem.Addr
+	sizes []uint64
+	limit int
+}
+
+func newColdPool(env machine.Env, rng *xrand.Rand, site mem.SiteID, fn mem.FuncID, limit int) *coldPool {
+	return &coldPool{env: env, rng: rng, site: site, fn: fn, limit: limit}
+}
+
+// churn allocates n cold objects of roughly size bytes, freeing old ones
+// when the pool exceeds its limit so the heap develops the realistic
+// free/reuse pattern.
+func (c *coldPool) churn(n int, size uint64) {
+	if c.fn != 0 {
+		c.env.Enter(c.fn)
+		defer c.env.Leave()
+	}
+	for i := 0; i < n; i++ {
+		sz := size/2 + c.rng.Uint64n(size)
+		a := c.env.Malloc(c.site, sz)
+		c.env.Write(a, min64(sz, 16))
+		c.objs = append(c.objs, a)
+		c.sizes = append(c.sizes, sz)
+		if len(c.objs) > c.limit {
+			// Free a random victim, keeping the population bounded.
+			v := c.rng.Intn(len(c.objs))
+			c.env.Free(c.objs[v])
+			last := len(c.objs) - 1
+			c.objs[v], c.sizes[v] = c.objs[last], c.sizes[last]
+			c.objs, c.sizes = c.objs[:last], c.sizes[:last]
+		}
+	}
+}
+
+// touch reads the heads of k random cold objects (background noise
+// traffic that contends with hot data for cache space).
+func (c *coldPool) touch(k int) {
+	if len(c.objs) == 0 {
+		return
+	}
+	for i := 0; i < k; i++ {
+		v := c.rng.Intn(len(c.objs))
+		c.env.Read(c.objs[v], min64(c.sizes[v], 8))
+	}
+}
+
+// drain frees everything left in the pool.
+func (c *coldPool) drain() {
+	for _, a := range c.objs {
+		c.env.Free(a)
+	}
+	c.objs, c.sizes = nil, nil
+}
+
+// hotObj is one hot object handle: its address and allocation size.
+type hotObj struct {
+	addr mem.Addr
+	size uint64
+}
+
+// visit reads head bytes of the object (the dominant access idiom for
+// linked data structures: headers, keys, next pointers).
+func (o hotObj) visit(env machine.Env, head uint64) {
+	env.Read(o.addr, min64(o.size, head))
+}
+
+// sweep visits each hot object in order, reading head bytes, with compute
+// between visits.
+func sweep(env machine.Env, objs []hotObj, head uint64, computePer uint64) {
+	for _, o := range objs {
+		o.visit(env, head)
+		if computePer > 0 {
+			env.Compute(computePer)
+		}
+	}
+}
+
+// scan streams through one object sequentially in line-sized reads
+// (intra-object spatial locality, the mysql buffer idiom).
+func scan(env machine.Env, o hotObj, stride uint64) {
+	if stride == 0 {
+		stride = 64
+	}
+	for off := uint64(0); off < o.size; off += stride {
+		env.Read(o.addr+mem.Addr(off), min64(stride, o.size-off))
+	}
+}
+
+// pick returns objs indexed by idxs (an HDS access order).
+func pick(objs []hotObj, idxs ...int) []hotObj {
+	out := make([]hotObj, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, objs[i])
+	}
+	return out
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// scaled returns max(1, round(base*scale)).
+func scaled(base int, scale float64) int {
+	n := int(float64(base)*scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+// Package workloads contains the 13 synthetic benchmark programs the
+// evaluation runs: one per benchmark in the paper (Table 3). Each program
+// is a deterministic generator of allocation, access and call-stack
+// behaviour modeled on the paper's per-benchmark characterization — hot
+// object counts and sizes (Table 5), context types and site counts
+// (Table 2), recycling opportunities (§2.4), the Figure 3 allocation
+// pattern, and the multithreading structure of §3.3.
+//
+// Programs are written against machine.Env and are completely unaware of
+// the allocation strategy serving them, exactly like the paper's binaries.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"prefix/internal/machine"
+)
+
+// Config scales a program run.
+type Config struct {
+	// Scale multiplies iteration and object counts. Profiling runs use a
+	// small scale, evaluation runs a larger one ("training inputs
+	// involving significantly shorter program runs", §3.2).
+	Scale float64
+	// Seed drives the deterministic PRNG; profile and long runs use
+	// different seeds, standing in for different program inputs.
+	Seed uint64
+	// Threads is used only by multithreaded programs (mysql, mcf).
+	Threads int
+}
+
+// Program is one benchmark.
+type Program interface {
+	Name() string
+	// Run executes the program single-threaded.
+	Run(env machine.Env, cfg Config)
+}
+
+// MultiThreaded is implemented by programs that support the Figure 10
+// evaluation. envs[i] is thread i's environment; the program decides the
+// interleaving.
+type MultiThreaded interface {
+	Program
+	RunMT(envs []machine.Env, cfg Config)
+}
+
+// BinaryInfo models the benchmark's executable for the Figure 14 binary
+// size accounting.
+type BinaryInfo struct {
+	// TextBytes is the baseline .text size.
+	TextBytes uint64
+	// MallocSites / FreeSites / ReallocSites are static site counts in
+	// the whole binary (instrumentation candidates).
+	MallocSites  int
+	FreeSites    int
+	ReallocSites int
+	// BoltOrigText marks the binaries where BOLT retains the original
+	// code in .bolt.orig.text (mysql, omnetpp, xalanc, povray in the
+	// paper).
+	BoltOrigText bool
+}
+
+// Spec registers a benchmark with its standard run configurations.
+type Spec struct {
+	Program Program
+	// Profile is the profiling-run configuration (short, training input).
+	Profile Config
+	// Long is the evaluation-run configuration.
+	Long Config
+	// Bench is a reduced evaluation configuration for the Go benchmark
+	// harness (keeps `go test -bench` under control; prefix-bench uses
+	// Long).
+	Bench Config
+	// Binary feeds the Figure 14 model.
+	Binary BinaryInfo
+	// BaselineSeconds is the paper's baseline execution time, used only
+	// to label report rows.
+	BaselineSeconds float64
+}
+
+var registry = map[string]Spec{}
+
+// register wires a benchmark into the registry; called from each
+// program's init.
+func register(s Spec) {
+	name := s.Program.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate benchmark %q", name))
+	}
+	registry[name] = s
+}
+
+// Get returns the spec for a benchmark name.
+func Get(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists all registered benchmarks in the paper's table order.
+func Names() []string {
+	order := []string{
+		"mysql", "perl", "mcf", "omnetpp", "xalanc", "povray", "roms",
+		"leela", "swissmap", "libc", "health", "ft", "analyzer",
+	}
+	var out []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	// Append any extras deterministically (future benchmarks).
+	var extra []string
+	for n := range registry {
+		found := false
+		for _, o := range out {
+			if o == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

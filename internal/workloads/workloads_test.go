@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"testing"
+
+	"prefix/internal/baselines"
+	"prefix/internal/cachesim"
+	"prefix/internal/machine"
+	"prefix/internal/trace"
+)
+
+func TestNamesOrderAndCount(t *testing.T) {
+	names := Names()
+	if len(names) != 13 {
+		t.Fatalf("benchmarks = %d, want 13", len(names))
+	}
+	want := []string{"mysql", "perl", "mcf", "omnetpp", "xalanc", "povray",
+		"roms", "leela", "swissmap", "libc", "health", "ft", "analyzer"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], n)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestSpecsComplete(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Program.Name() != name {
+			t.Errorf("%s: program name mismatch", name)
+		}
+		if spec.Profile.Scale <= 0 || spec.Long.Scale <= 0 || spec.Bench.Scale <= 0 {
+			t.Errorf("%s: missing run configurations", name)
+		}
+		if spec.Profile.Scale >= spec.Long.Scale {
+			t.Errorf("%s: profiling run must be shorter than the long run", name)
+		}
+		if spec.Binary.TextBytes == 0 || spec.Binary.MallocSites == 0 {
+			t.Errorf("%s: missing binary info", name)
+		}
+		if spec.BaselineSeconds <= 0 {
+			t.Errorf("%s: missing paper baseline time", name)
+		}
+	}
+}
+
+// runProfile executes a benchmark's profiling configuration and returns
+// the machine metrics and trace.
+func runProfile(t *testing.T, name string) (machine.Metrics, *trace.Trace) {
+	t.Helper()
+	spec, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), machine.WithRecorder(rec))
+	spec.Program.Run(m, spec.Profile)
+	return m.Finish(), rec.Trace()
+}
+
+func TestAllWorkloadsRunAndBalance(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			metrics, tr := runProfile(t, name)
+			if metrics.Mallocs == 0 || metrics.Cache.Accesses == 0 {
+				t.Fatal("workload did nothing")
+			}
+			a := trace.Analyze(tr)
+			if a.HeapAccesses == 0 {
+				t.Fatal("no heap accesses")
+			}
+			// Every allocation must eventually be freed: heap-intensive
+			// programs clean up, and leaks would skew liveness analysis.
+			if metrics.Frees+metrics.Reallocs < metrics.Mallocs {
+				leaked := metrics.Mallocs - metrics.Frees
+				// The cold pools with "never free" behaviour (roms I/O
+				// history, povray geometry) legitimately hold objects to
+				// program end; they are freed by drain. Everything else
+				// must balance.
+				if name != "roms" && leaked > metrics.Mallocs/100 {
+					t.Errorf("mallocs=%d frees=%d (leak?)", metrics.Mallocs, metrics.Frees)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range []string{"mcf", "health", "swissmap"} {
+		m1, _ := runProfile(t, name)
+		m2, _ := runProfile(t, name)
+		if m1.Instr != m2.Instr || m1.Cache.Accesses != m2.Cache.Accesses ||
+			m1.Mallocs != m2.Mallocs || m1.Cycles != m2.Cycles {
+			t.Errorf("%s not deterministic: %+v vs %+v", name, m1, m2)
+		}
+	}
+}
+
+func TestSeedChangesBehaviour(t *testing.T) {
+	spec, _ := Get("mcf")
+	run := func(seed uint64) machine.Metrics {
+		m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig())
+		cfg := spec.Profile
+		cfg.Seed = seed
+		spec.Program.Run(m, cfg)
+		return m.Finish()
+	}
+	if run(1).Cache.L1Misses == run(2).Cache.L1Misses {
+		t.Log("note: different seeds produced identical L1 misses (possible but unlikely)")
+	}
+}
+
+func TestMultiThreadedPrograms(t *testing.T) {
+	for _, name := range []string{"mysql", "mcf"} {
+		spec, _ := Get(name)
+		mt, ok := spec.Program.(MultiThreaded)
+		if !ok {
+			t.Fatalf("%s must implement MultiThreaded", name)
+		}
+		g := machine.NewGroup(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), 3, nil)
+		envs := []machine.Env{g.Env(0), g.Env(1), g.Env(2)}
+		cfg := spec.Profile
+		cfg.Threads = 3
+		mt.RunMT(envs, cfg)
+		threads, parallel, total := g.Finish()
+		if total.Mallocs == 0 {
+			t.Fatalf("%s MT run did nothing", name)
+		}
+		if parallel <= 0 || len(threads) != 3 {
+			t.Fatalf("%s MT metrics wrong", name)
+		}
+		// Every thread must have executed something.
+		for i, th := range threads {
+			if th.Instr == 0 {
+				t.Errorf("%s thread %d idle", name, i)
+			}
+		}
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if scaled(100, 0.5) != 50 || scaled(100, 0) != 1 || scaled(3, 0.1) != 1 {
+		t.Error("scaled helper wrong")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	spec, _ := Get("mcf")
+	register(spec)
+}

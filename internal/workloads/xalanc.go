@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"prefix/internal/machine"
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// xalanc models SPEC 523.xalancbmk: an XSLT processor. The compiled
+// stylesheet's DOM nodes and atomized strings are hot — they are consulted
+// for every input element — while the input document's nodes and strings,
+// allocated from the *same two sites*, are cold after a single pass.
+//
+// Table 2: [fixed ids, (2, 2)]: just two instrumented sites, each with
+// its own counter (a few discarded comment nodes during stylesheet
+// compilation make the DOM site's hot ids non-contiguous, which also
+// prevents the two sites from sharing a counter).
+type xalanc struct{}
+
+func (xalanc) Name() string { return "xalanc" }
+
+const (
+	xalancSiteDOM mem.SiteID = iota + 1
+	xalancSiteStr
+	xalancSiteCold
+)
+
+const (
+	xalancFnCompile mem.FuncID = iota + 1101
+	xalancFnTransform
+)
+
+const (
+	xalancNodeSize = 88
+	xalancStrSize  = 56
+)
+
+func (w xalanc) Run(env machine.Env, cfg Config) {
+	rng := xrand.New(cfg.Seed)
+	cold := newColdPool(env, rng, xalancSiteCold, 0, 400)
+
+	// --- Stylesheet compilation: the hot template DOM ------------------
+	env.Enter(xalancFnCompile)
+	var nodes, strs []hotObj
+	nTemplates := 450
+	for i := 0; i < nTemplates; i++ {
+		n := hotObj{env.Malloc(xalancSiteDOM, xalancNodeSize), xalancNodeSize}
+		env.Write(n.addr, 48)
+		nodes = append(nodes, n)
+		if i%7 == 3 {
+			// Discarded comment/whitespace node: a cold instance in the
+			// middle of the hot run.
+			c := env.Malloc(xalancSiteDOM, xalancNodeSize)
+			env.Write(c, 16)
+			env.Free(c)
+		}
+		if i%2 == 0 {
+			s := hotObj{env.Malloc(xalancSiteStr, xalancStrSize), xalancStrSize}
+			env.Write(s.addr, 32)
+			strs = append(strs, s)
+		}
+		cold.churn(2, 100)
+	}
+	env.Leave()
+
+	// --- Transformation: stream input elements through the templates ---
+	elements := scaled(5200, cfg.Scale)
+	for e := 0; e < elements; e++ {
+		env.Enter(xalancFnTransform)
+		// Template matching walks a run of template nodes and their
+		// atomized names (streams over nodes+strings).
+		base := (e * 13) % (nTemplates - 6)
+		for k := 0; k < 6; k++ {
+			nodes[base+k].visit(env, 40)
+			if (base+k)%2 == 0 {
+				strs[(base+k)/2].visit(env, 24)
+			}
+			env.Compute(60)
+		}
+		// Input document nodes/strings from the same sites: allocated,
+		// visited once, freed — the pollution of Table 4.
+		in := env.Malloc(xalancSiteDOM, xalancNodeSize)
+		is := env.Malloc(xalancSiteStr, xalancStrSize)
+		env.Write(in, 32)
+		env.Write(is, 24)
+		env.Compute(400)
+		env.Free(in)
+		env.Free(is)
+		env.Leave()
+		if e%32 == 9 {
+			cold.churn(4, 140)
+		}
+	}
+
+	for _, n := range nodes {
+		env.Free(n.addr)
+	}
+	for _, s := range strs {
+		env.Free(s.addr)
+	}
+	cold.drain()
+}
+
+func init() {
+	register(Spec{
+		Program: xalanc{},
+		Profile: Config{Scale: 0.12, Seed: 121},
+		Long:    Config{Scale: 1.0, Seed: 12119},
+		Bench:   Config{Scale: 0.3, Seed: 12119},
+		Binary: BinaryInfo{
+			TextBytes:   4800 << 10,
+			MallocSites: 900, FreeSites: 760, ReallocSites: 30,
+			BoltOrigText: true,
+		},
+		BaselineSeconds: 43.38,
+	})
+}

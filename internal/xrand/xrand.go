@@ -1,0 +1,126 @@
+// Package xrand provides a small deterministic pseudo-random number
+// generator used by the synthetic workloads. Workload traces must be
+// byte-for-byte reproducible across runs and Go releases (math/rand's
+// top-level generator is seeded randomly and its algorithm is not part of
+// the compatibility promise), so the workloads use this fixed splitmix64 /
+// xoshiro-style generator instead.
+package xrand
+
+import "math"
+
+// Rand is a deterministic PRNG. The zero value is not valid; use New.
+type Rand struct {
+	s0, s1 uint64
+}
+
+// New returns a generator seeded from seed via splitmix64, so that nearby
+// seeds still produce uncorrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1 // xoroshiro state must not be all zero
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits (xoroshiro128+).
+func (r *Rand) Uint64() uint64 {
+	s0, s1 := r.s0, r.s1
+	result := s0 + s1
+	s1 ^= s0
+	r.s0 = rotl(s0, 55) ^ s1 ^ (s1 << 14)
+	r.s1 = rotl(s1, 36)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf draws from a bounded Zipf-like distribution over [0, n) with
+// exponent s > 0: rank 0 is most likely. It uses inverse-CDF sampling over
+// a precomputed table when wrapped in a Zipf value; for one-off draws use
+// NewZipf.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / powf(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Draw returns the next rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func powf(x, s float64) float64 { return math.Pow(x, s) }

@@ -1,0 +1,47 @@
+package prefix
+
+import "testing"
+
+func TestBenchmarks(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 13 {
+		t.Fatalf("benchmarks = %d, want 13", len(names))
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	opt := DefaultOptions()
+	opt.UseBenchScale = true
+	cmp, err := RunBenchmark("ft", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.BestResult().Metrics.Cycles >= cmp.Baseline.Metrics.Cycles {
+		t.Error("PreFix should beat the baseline on ft")
+	}
+	plan := cmp.Plans[cmp.Best]
+	if err := plan.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheConfigs(t *testing.T) {
+	p := PaperCacheConfig()
+	s := ScaledCacheConfig()
+	if p.LLCSize != 40<<20 {
+		t.Error("paper LLC should be 40MB")
+	}
+	if s.LLCSize >= p.LLCSize {
+		t.Error("scaled LLC should be smaller")
+	}
+}
+
+func TestDefaultPlanConfig(t *testing.T) {
+	cfg := DefaultPlanConfig("mcf", VariantHDSHot)
+	if cfg.Benchmark != "mcf" || cfg.Variant != VariantHDSHot {
+		t.Error("plan config wrong")
+	}
+	if cfg.RecycleRatio <= 0 {
+		t.Error("recycling should default on")
+	}
+}
