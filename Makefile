@@ -1,0 +1,37 @@
+# Developer entry points. `make check` is the tier-1 gate every PR must
+# pass (see ROADMAP.md): formatting, vet, build, and the full test suite
+# under the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test test-short race bench clean
+
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick iteration loop: skips the long pipeline end-to-end tests.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -93,8 +93,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		w = f
+		if err := plan.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		// A close error on the output file means a truncated plan; report it.
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if err := plan.WriteJSON(w); err != nil {
 		fatal(err)

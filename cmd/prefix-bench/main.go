@@ -9,6 +9,12 @@
 //	prefix-bench -bench mcf,health    # a subset of benchmarks
 //	prefix-bench -scale bench         # faster, reduced-scale runs
 //	prefix-bench -heatmap-dir out/    # also write Figure 9 CSVs
+//
+// Observability:
+//
+//	prefix-bench -metrics-out run.prom         # Prometheus text (or .json)
+//	prefix-bench -trace-out phases.json -v     # chrome://tracing + summary
+//	prefix-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -16,23 +22,96 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"prefix/internal/obs"
 	"prefix/internal/pipeline"
 	"prefix/internal/report"
 	"prefix/internal/workloads"
 )
 
+// artifacts is every value -only accepts.
+var artifacts = []string{
+	"figure1", "figure2", "table2", "table3", "table4", "table5", "table6",
+	"figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
+	"variance",
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefix-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
-		only       = flag.String("only", "", "emit a single artifact: figure1, figure2, table2..table6, figure9..figure14")
+		only       = flag.String("only", "", "emit a single artifact: figure1, figure2, table2..table6, figure9..figure14, variance")
 		benchList  = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
 		scale      = flag.String("scale", "long", "evaluation scale: long or bench")
 		heatmapDir = flag.String("heatmap-dir", "", "directory for Figure 9 heatmap CSVs")
 		capture    = flag.Bool("capture", false, "record long-run traces for Table 5 long-run columns (slower)")
 		seeds      = flag.Int("seeds", 0, "additionally run each benchmark across N perturbed evaluation seeds and report the variance (the paper averages over 10 runs)")
+		metricsOut = flag.String("metrics-out", "", "write run metrics to this file (Prometheus text; .json extension selects JSON)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the pipeline phases (chrome://tracing, Perfetto)")
+		cpuprofile = flag.String("cpuprofile", "", "write a Go CPU profile of this process to the file")
+		memprofile = flag.String("memprofile", "", "write a Go heap profile of this process to the file")
+		verbose    = flag.Bool("v", false, "print a phase-timing summary to stderr at the end of the run")
 	)
 	flag.Parse()
+
+	if *only != "" {
+		known := false
+		for _, a := range artifacts {
+			if strings.EqualFold(*only, a) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown -only artifact %q (valid: %s)", *only, strings.Join(artifacts, ", "))
+		}
+	}
+	if *scale != "long" && *scale != "bench" {
+		return fmt.Errorf("unknown -scale %q (valid: long, bench)", *scale)
+	}
+
+	if *cpuprofile != "" {
+		f, cerr := os.Create(*cpuprofile)
+		if cerr != nil {
+			return cerr
+		}
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return cerr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, merr := os.Create(*memprofile)
+			if merr != nil {
+				if err == nil {
+					err = merr
+				}
+				return
+			}
+			runtime.GC()
+			if merr := pprof.WriteHeapProfile(f); err == nil {
+				err = merr
+			}
+			if merr := f.Close(); err == nil {
+				err = merr
+			}
+		}()
+	}
 
 	names := workloads.Names()
 	if *benchList != "" {
@@ -41,6 +120,12 @@ func main() {
 	opt := pipeline.DefaultOptions()
 	opt.UseBenchScale = *scale == "bench"
 	opt.CaptureLongRun = *capture
+	if *metricsOut != "" {
+		opt.Metrics = obs.NewRegistry()
+	}
+	if *traceOut != "" || *verbose {
+		opt.Tracer = obs.NewTracer()
+	}
 
 	want := func(artifact string) bool {
 		return *only == "" || strings.EqualFold(*only, artifact)
@@ -57,26 +142,29 @@ func main() {
 	if needComparisons {
 		for _, name := range names {
 			fmt.Fprintf(os.Stderr, "running %s...\n", name)
-			cmp, err := pipeline.RunBenchmark(name, opt)
-			if err != nil {
-				fatal(err)
+			cmp, rerr := pipeline.RunBenchmark(name, opt)
+			if rerr != nil {
+				return rerr
 			}
 			cmps = append(cmps, cmp)
 		}
 	}
 
-	emit := func(name string, f func() error) {
+	emit := func(name string, f func() error) error {
 		if !want(name) {
-			return
+			return nil
 		}
-		if err := f(); err != nil {
-			fatal(err)
+		if eerr := f(); eerr != nil {
+			return eerr
 		}
-		fmt.Fprintln(w)
+		_, werr := fmt.Fprintln(w)
+		return werr
 	}
 
-	emit("figure1", func() error { return report.Figure1(w, cmps) })
-	emit("figure2", func() error {
+	if err := emit("figure1", func() error { return report.Figure1(w, cmps) }); err != nil {
+		return err
+	}
+	if err := emit("figure2", func() error {
 		// Use the first benchmark with a non-trivial reconstitution.
 		for _, c := range cmps {
 			s := c.Summaries[c.Best]
@@ -92,50 +180,89 @@ func main() {
 		}
 		fmt.Fprintln(w, "Figure 2: no benchmark produced multi-stream OHDS at this scale")
 		return nil
-	})
-	emit("table2", func() error { return report.Table2(w, cmps) })
-	emit("table3", func() error { return report.Table3(w, cmps) })
-	emit("table4", func() error { return report.Table4(w, cmps) })
-	emit("table5", func() error { return report.Table5(w, cmps) })
-	emit("table6", func() error { return report.Table6(w, cmps) })
+	}); err != nil {
+		return err
+	}
+	for _, tbl := range []struct {
+		name string
+		f    func() error
+	}{
+		{"table2", func() error { return report.Table2(w, cmps) }},
+		{"table3", func() error { return report.Table3(w, cmps) }},
+		{"table4", func() error { return report.Table4(w, cmps) }},
+		{"table5", func() error { return report.Table5(w, cmps) }},
+		{"table6", func() error { return report.Table6(w, cmps) }},
+	} {
+		if err := emit(tbl.name, tbl.f); err != nil {
+			return err
+		}
+	}
 
 	if want("figure9") {
 		if err := figure9(w, opt, *heatmapDir); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Fprintln(w)
 	}
 	if want("figure10") {
 		for _, name := range []string{"mysql", "mcf"} {
-			results, err := pipeline.RunMultithreaded(name, []int{1, 2, 4, 8, 16}, opt)
-			if err != nil {
-				fatal(err)
+			results, rerr := pipeline.RunMultithreaded(name, []int{1, 2, 4, 8, 16}, opt)
+			if rerr != nil {
+				return rerr
 			}
-			if err := report.Figure10(w, name, results); err != nil {
-				fatal(err)
+			if rerr := report.Figure10(w, name, results); rerr != nil {
+				return rerr
 			}
 			fmt.Fprintln(w)
 		}
 	}
-	emit("figure11", func() error { return report.Figure11(w, cmps) })
-	emit("figure12", func() error { return report.Figure12(w, cmps) })
-	emit("figure13", func() error { return report.Figure13(w, cmps) })
-	emit("figure14", func() error { return report.Figure14(w, cmps) })
+	for _, fig := range []struct {
+		name string
+		f    func() error
+	}{
+		{"figure11", func() error { return report.Figure11(w, cmps) }},
+		{"figure12", func() error { return report.Figure12(w, cmps) }},
+		{"figure13", func() error { return report.Figure13(w, cmps) }},
+		{"figure14", func() error { return report.Figure14(w, cmps) }},
+	} {
+		if err := emit(fig.name, fig.f); err != nil {
+			return err
+		}
+	}
 
-	if *seeds > 0 && (*only == "" || strings.EqualFold(*only, "variance")) {
+	if *seeds > 0 && want("variance") {
 		var vs []*pipeline.Variance
 		for _, name := range names {
 			fmt.Fprintf(os.Stderr, "variance sweep %s (%d seeds)...\n", name, *seeds)
-			v, err := pipeline.RunVariance(name, *seeds, opt)
-			if err != nil {
-				fatal(err)
+			v, verr := pipeline.RunVariance(name, *seeds, opt)
+			if verr != nil {
+				return verr
 			}
 			vs = append(vs, v)
 		}
-		if err := report.VarianceTable(w, vs); err != nil {
-			fatal(err)
+		if verr := report.VarianceTable(w, vs); verr != nil {
+			return verr
 		}
 	}
+
+	if *metricsOut != "" {
+		if merr := opt.Metrics.WriteMetricsFile(*metricsOut); merr != nil {
+			return merr
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if terr := opt.Tracer.WriteTraceFile(*traceOut); terr != nil {
+			return terr
+		}
+		fmt.Fprintf(os.Stderr, "phase trace written to %s\n", *traceOut)
+	}
+	if *verbose {
+		if serr := opt.Tracer.WriteSummary(os.Stderr); serr != nil {
+			return serr
+		}
+	}
+	return nil
 }
 
 // figure9 traces leela under baseline and PreFix and summarizes (and
@@ -172,9 +299,4 @@ func figure9(w *os.File, opt pipeline.Options, dir string) error {
 		fmt.Fprintf(w, "  CSVs written to %s\n", dir)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefix-bench:", err)
-	os.Exit(1)
 }

@@ -7,33 +7,87 @@
 //
 //	prefix-opt -bench mcf                       # compare all strategies
 //	prefix-opt -bench mcf -plan mcf.plan.json   # run a saved plan
+//	prefix-opt -bench mcf -metrics-out run.prom -trace-out phases.json -v
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"prefix/internal/baselines"
 	"prefix/internal/cachesim"
 	"prefix/internal/machine"
+	"prefix/internal/obs"
 	"prefix/internal/pipeline"
 	core "prefix/internal/prefix"
 	"prefix/internal/workloads"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefix-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
-		bench    = flag.String("bench", "", "benchmark name (required)")
-		planPath = flag.String("plan", "", "PreFix plan JSON (from prefix-analyze); when set, only that plan is run against the baseline")
-		scale    = flag.String("scale", "long", "evaluation scale: bench or long")
-		paperHW  = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
+		bench      = flag.String("bench", "", "benchmark name (required)")
+		planPath   = flag.String("plan", "", "PreFix plan JSON (from prefix-analyze); when set, only that plan is run against the baseline")
+		scale      = flag.String("scale", "long", "evaluation scale: bench or long")
+		paperHW    = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
+		metricsOut = flag.String("metrics-out", "", "write run metrics to this file (Prometheus text; .json extension selects JSON)")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the pipeline phases")
+		cpuprofile = flag.String("cpuprofile", "", "write a Go CPU profile of this process to the file")
+		memprofile = flag.String("memprofile", "", "write a Go heap profile of this process to the file")
+		verbose    = flag.Bool("v", false, "print a phase-timing summary to stderr at the end of the run")
 	)
 	flag.Parse()
 	if *bench == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *scale != "long" && *scale != "bench" {
+		return fmt.Errorf("unknown -scale %q (valid: long, bench)", *scale)
+	}
+
+	if *cpuprofile != "" {
+		f, cerr := os.Create(*cpuprofile)
+		if cerr != nil {
+			return cerr
+		}
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return cerr
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, merr := os.Create(*memprofile)
+			if merr != nil {
+				if err == nil {
+					err = merr
+				}
+				return
+			}
+			runtime.GC()
+			if merr := pprof.WriteHeapProfile(f); err == nil {
+				err = merr
+			}
+			if merr := f.Close(); err == nil {
+				err = merr
+			}
+		}()
 	}
 
 	opt := pipeline.DefaultOptions()
@@ -41,19 +95,52 @@ func main() {
 	if *paperHW {
 		opt.Cache = cachesim.PaperConfig()
 	}
+	if *metricsOut != "" {
+		opt.Metrics = obs.NewRegistry()
+	}
+	if *traceOut != "" || *verbose {
+		opt.Tracer = obs.NewTracer()
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	defer tw.Flush()
 	fmt.Fprintln(tw, "strategy\tcycles\tvs baseline\tL1 miss\tLLC miss\tstalls\tpeak")
 
 	if *planPath != "" {
-		runSavedPlan(tw, *bench, *planPath, opt)
-		return
+		err = runSavedPlan(tw, *bench, *planPath, opt)
+	} else {
+		err = runComparison(tw, *bench, opt)
+	}
+	if err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
 	}
 
-	cmp, err := pipeline.RunBenchmark(*bench, opt)
+	if *metricsOut != "" {
+		if merr := opt.Metrics.WriteMetricsFile(*metricsOut); merr != nil {
+			return merr
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if terr := opt.Tracer.WriteTraceFile(*traceOut); terr != nil {
+			return terr
+		}
+		fmt.Fprintf(os.Stderr, "phase trace written to %s\n", *traceOut)
+	}
+	if *verbose {
+		if serr := opt.Tracer.WriteSummary(os.Stderr); serr != nil {
+			return serr
+		}
+	}
+	return nil
+}
+
+func runComparison(tw *tabwriter.Writer, bench string, opt pipeline.Options) error {
+	cmp, err := pipeline.RunBenchmark(bench, opt)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	row := func(name string, r pipeline.RunResult) {
 		m := r.Metrics
@@ -69,35 +156,44 @@ func main() {
 		row(v.String(), cmp.PreFix[v])
 	}
 	fmt.Fprintf(tw, "best\t%s\t%+.2f%%\t\t\t\t\n", cmp.Best, cmp.BestResult().TimeDeltaPct(cmp.Baseline))
+	return nil
 }
 
-func runSavedPlan(tw *tabwriter.Writer, bench, planPath string, opt pipeline.Options) {
+func runSavedPlan(tw *tabwriter.Writer, bench, planPath string, opt pipeline.Options) error {
 	spec, err := workloads.Get(bench)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	f, err := os.Open(planPath)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	plan, err := core.ReadJSON(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := spec.Long
 	if opt.UseBenchScale {
 		cfg = spec.Bench
 	}
 
+	root := opt.Tracer.Start("saved-plan " + bench)
+	defer root.End()
 	run := func(alloc machine.Allocator) machine.Metrics {
+		span := root.Child("eval " + alloc.Name())
 		m := machine.New(alloc, opt.Cache)
 		spec.Program.Run(m, cfg)
-		return m.Finish()
+		metrics := m.Finish()
+		span.Set("cycles", metrics.Cycles)
+		span.End()
+		metrics.Publish(opt.Metrics, "benchmark", bench, "run", alloc.Name())
+		return metrics
 	}
 	base := run(baselines.NewBaseline(opt.Cache.Cost))
 	alloc := core.NewAllocator(plan, opt.Cache.Cost)
 	pm := run(alloc)
+	alloc.Publish(opt.Metrics, "benchmark", bench, "run", alloc.Name())
 
 	delta := 100 * (pm.Cycles - base.Cycles) / base.Cycles
 	fmt.Fprintf(tw, "baseline\t%.4g\t\t%.3f%%\t%.4f%%\t%.1f%%\t\n",
@@ -108,9 +204,5 @@ func runSavedPlan(tw *tabwriter.Writer, bench, planPath string, opt pipeline.Opt
 	cap := alloc.Capture()
 	fmt.Fprintf(tw, "capture\tavoided=%d\tfallback=%d\tstatic=%d\trecycled=%d\t\t\n",
 		cap.MallocsAvoided, cap.FallbackMallocs, cap.StaticCaptured, cap.RecycledCaptured)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefix-opt:", err)
-	os.Exit(1)
+	return nil
 }

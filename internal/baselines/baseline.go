@@ -19,6 +19,7 @@ import (
 	"prefix/internal/cachesim"
 	"prefix/internal/machine"
 	"prefix/internal/mem"
+	"prefix/internal/obs"
 	"prefix/internal/simalloc"
 )
 
@@ -92,3 +93,14 @@ type Pollution struct {
 
 // Spurious returns the number of polluting (non-hot) objects.
 func (p Pollution) Spurious() uint64 { return p.All - p.Hot }
+
+// Publish reports the Table 4 pollution counters into reg under the given
+// label pairs. Nil-safe on a nil registry.
+func (p Pollution) Publish(reg *obs.Registry, kv ...string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("prefix_pollution_captured_total", kv...).Add(p.All)
+	reg.Counter("prefix_pollution_hot_total", kv...).Add(p.Hot)
+	reg.Counter("prefix_pollution_spurious_total", kv...).Add(p.Spurious())
+}

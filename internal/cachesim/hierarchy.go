@@ -106,14 +106,14 @@ type Hierarchy struct {
 
 // Counts aggregates simulation totals.
 type Counts struct {
-	Accesses   uint64
-	L1Misses   uint64
-	L2Hits     uint64 // L1 misses served by the optional L2
-	LLCHits    uint64 // misses served by LLC
-	LLCMisses  uint64
-	TLB1Miss   uint64
-	TLB2Miss   uint64
-	Prefetches uint64 // next-line prefetches issued
+	Accesses   uint64 `json:"accesses"`
+	L1Misses   uint64 `json:"l1_misses"`
+	L2Hits     uint64 `json:"l2_hits"`  // L1 misses served by the optional L2
+	LLCHits    uint64 `json:"llc_hits"` // misses served by LLC
+	LLCMisses  uint64 `json:"llc_misses"`
+	TLB1Miss   uint64 `json:"tlb1_misses"`
+	TLB2Miss   uint64 `json:"tlb2_misses"`
+	Prefetches uint64 `json:"prefetches"` // next-line prefetches issued
 }
 
 // New builds a hierarchy with a private LLC.

@@ -8,9 +8,12 @@
 package machine
 
 import (
+	"fmt"
+
 	"prefix/internal/cachesim"
 	"prefix/internal/callstack"
 	"prefix/internal/mem"
+	"prefix/internal/obs"
 	"prefix/internal/trace"
 )
 
@@ -48,17 +51,59 @@ type Allocator interface {
 	Realloc(addr mem.Addr, size uint64) (newAddr mem.Addr, instr uint64)
 }
 
-// Metrics summarizes one run.
+// Metrics summarizes one run. The JSON field names are a stable interface
+// (the obs JSON exporter and external tooling key on them); change them
+// only with a migration note.
 type Metrics struct {
-	Instr       uint64 // total dynamic instructions (compute + memory + allocator)
-	MemInstr    uint64 // instructions that were memory accesses
-	AllocInstr  uint64 // instructions spent inside the allocator
-	Mallocs     uint64
-	Frees       uint64
-	Reallocs    uint64
-	Cache       cachesim.Counts
-	Cycles      float64
-	StallCycles float64
+	Instr       uint64          `json:"instr"`       // total dynamic instructions (compute + memory + allocator)
+	MemInstr    uint64          `json:"mem_instr"`   // instructions that were memory accesses
+	AllocInstr  uint64          `json:"alloc_instr"` // instructions spent inside the allocator
+	Mallocs     uint64          `json:"mallocs"`
+	Frees       uint64          `json:"frees"`
+	Reallocs    uint64          `json:"reallocs"`
+	Cache       cachesim.Counts `json:"cache"`
+	Cycles      float64         `json:"cycles"`
+	StallCycles float64         `json:"stall_cycles"`
+}
+
+// String returns a one-line human-readable summary of the run.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"cycles=%.4g instr=%d (mem=%d alloc=%d) mallocs=%d frees=%d reallocs=%d L1miss=%.3f%% LLCmiss=%.4f%% stalls=%.1f%%",
+		m.Cycles, m.Instr, m.MemInstr, m.AllocInstr, m.Mallocs, m.Frees, m.Reallocs,
+		100*m.Cache.L1MissRate(), 100*m.Cache.LLCMissRate(), m.BackendStallPct())
+}
+
+// Publish reports the run's metrics — instruction mix, allocator traffic,
+// cache/TLB hits and misses, modeled cycles — into reg under the given
+// label pairs (typically benchmark and run). Nil-safe: a nil registry
+// makes this a no-op, so callers never branch.
+func (m Metrics) Publish(reg *obs.Registry, kv ...string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("prefix_run_instructions_total", kv...).Add(m.Instr)
+	reg.Counter("prefix_run_mem_instructions_total", kv...).Add(m.MemInstr)
+	reg.Counter("prefix_run_alloc_instructions_total", kv...).Add(m.AllocInstr)
+	reg.Counter("prefix_run_mallocs_total", kv...).Add(m.Mallocs)
+	reg.Counter("prefix_run_frees_total", kv...).Add(m.Frees)
+	reg.Counter("prefix_run_reallocs_total", kv...).Add(m.Reallocs)
+	reg.Gauge("prefix_run_cycles", kv...).Set(m.Cycles)
+	reg.Gauge("prefix_run_stall_cycles", kv...).Set(m.StallCycles)
+	reg.Gauge("prefix_run_backend_stall_pct", kv...).Set(m.BackendStallPct())
+
+	c := m.Cache
+	reg.Counter("prefix_cache_accesses_total", kv...).Add(c.Accesses)
+	reg.Counter("prefix_cache_l1_hits_total", kv...).Add(c.Accesses - c.L1Misses)
+	reg.Counter("prefix_cache_l1_misses_total", kv...).Add(c.L1Misses)
+	reg.Counter("prefix_cache_l2_hits_total", kv...).Add(c.L2Hits)
+	reg.Counter("prefix_cache_llc_hits_total", kv...).Add(c.LLCHits)
+	reg.Counter("prefix_cache_llc_misses_total", kv...).Add(c.LLCMisses)
+	reg.Counter("prefix_cache_prefetches_total", kv...).Add(c.Prefetches)
+	reg.Counter("prefix_tlb1_misses_total", kv...).Add(c.TLB1Miss)
+	reg.Counter("prefix_tlb2_misses_total", kv...).Add(c.TLB2Miss)
+	reg.Gauge("prefix_cache_l1_miss_rate", kv...).Set(c.L1MissRate())
+	reg.Gauge("prefix_cache_llc_miss_rate", kv...).Set(c.LLCMissRate())
 }
 
 // BackendStallPct is the share of cycles stalled on memory, the paper's

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// --- Registry exporters -------------------------------------------------
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric family followed by
+// its series, sorted by family then label set. Histograms expose
+// cumulative `_bucket` series with `le` labels plus `_sum` and `_count`.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, s := range r.snapshot() {
+		if s.family != lastFamily {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.family, typeName(s.kind))
+			lastFamily = s.family
+		}
+		switch s.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", s.family, s.labels, s.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %s\n", s.family, s.labels, formatFloat(s.gauge.Value()))
+		case kindHistogram:
+			h := s.hist
+			bounds := h.Bounds()
+			counts := h.BucketCounts()
+			var cum uint64
+			for i, b := range bounds {
+				cum += counts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					s.family, mergeLabels(s.labels, "le", formatFloat(b)), cum)
+			}
+			cum += counts[len(counts)-1]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", s.family, mergeLabels(s.labels, "le", "+Inf"), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", s.family, s.labels, formatFloat(h.Sum()))
+			fmt.Fprintf(bw, "%s_count%s %d\n", s.family, s.labels, h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+func typeName(k kind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels appends one extra label to an already-rendered label set.
+func mergeLabels(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+// histogramJSON is the JSON shape of one histogram series.
+type histogramJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// WriteJSON writes the registry as a single JSON document with
+// "counters", "gauges", and "histograms" objects keyed by full series
+// name. Key order is deterministic (encoding/json sorts map keys).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Counters   map[string]uint64        `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]histogramJSON `json:"histograms"`
+	}{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]histogramJSON{},
+	}
+	for _, s := range r.snapshot() {
+		key := s.family + s.labels
+		switch s.kind {
+		case kindCounter:
+			doc.Counters[key] = s.counter.Value()
+		case kindGauge:
+			doc.Gauges[key] = s.gauge.Value()
+		case kindHistogram:
+			doc.Histograms[key] = histogramJSON{
+				Bounds: s.hist.Bounds(),
+				Counts: s.hist.BucketCounts(),
+				Sum:    s.hist.Sum(),
+				Count:  s.hist.Count(),
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteMetricsFile writes the registry to path, choosing the format by
+// extension: ".json" writes the JSON document, anything else (".prom",
+// ".txt", …) writes Prometheus text exposition.
+func (r *Registry) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if filepath.Ext(path) == ".json" {
+		werr = r.WriteJSON(f)
+	} else {
+		werr = r.WritePrometheus(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// --- Tracer exporters ---------------------------------------------------
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
+// format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // µs since tracer epoch
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes all recorded spans as a Chrome trace-event JSON
+// document ({"traceEvents":[...]}) loadable in chrome://tracing and
+// Perfetto. Spans still open at export time are written with zero
+// duration.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := []chromeEvent{}
+	for _, root := range t.Roots() {
+		walkSpans(root, func(s *Span) {
+			s.tracer.mu.Lock()
+			ev := chromeEvent{
+				Name: s.Name,
+				Cat:  "phase",
+				Ph:   "X",
+				Ts:   s.start.Microseconds(),
+				Pid:  1,
+				Tid:  1,
+			}
+			if s.end >= 0 {
+				ev.Dur = (s.end - s.start).Microseconds()
+			}
+			if len(s.args) > 0 {
+				ev.Args = make(map[string]any, len(s.args))
+				for k, v := range s.args {
+					ev.Args[k] = v
+				}
+			}
+			s.tracer.mu.Unlock()
+			events = append(events, ev)
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+// WriteTraceFile writes the Chrome trace-event document to path.
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := t.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// WriteSummary prints a human-readable phase-timing tree: every span with
+// its duration, its share of the root span, and its annotations.
+func (t *Tracer) WriteSummary(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "phase timing:")
+	for _, root := range t.Roots() {
+		total := root.Duration()
+		writeSummarySpan(bw, root, 1, total)
+	}
+	return bw.Flush()
+}
+
+func writeSummarySpan(w io.Writer, s *Span, depth int, total time.Duration) {
+	d := s.Duration()
+	line := fmt.Sprintf("%s%-*s %10s", strings.Repeat("  ", depth), 44-2*depth, s.Name,
+		d.Round(time.Microsecond))
+	if total > 0 && depth > 1 {
+		line += fmt.Sprintf("  %5.1f%%", 100*float64(d)/float64(total))
+	}
+	keys, values := s.Args()
+	for i, k := range keys {
+		if i == 0 {
+			line += "  "
+		} else {
+			line += " "
+		}
+		line += fmt.Sprintf("%s=%v", k, values[i])
+	}
+	fmt.Fprintln(w, line)
+	for _, c := range s.Children() {
+		writeSummarySpan(w, c, depth+1, total)
+	}
+}

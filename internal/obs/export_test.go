@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a deterministic time source advancing step per call.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0).UTC()
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("prefix_run_mallocs", "benchmark", "mcf", "run", "baseline").Add(42)
+	r.Counter("prefix_run_mallocs", "benchmark", "mcf", "run", "hds+hot").Add(40)
+	r.Gauge("prefix_run_cycles", "benchmark", "mcf", "run", "baseline").Set(1234.5)
+	h := r.Histogram("prefix_stage_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE prefix_run_cycles gauge
+prefix_run_cycles{benchmark="mcf",run="baseline"} 1234.5
+# TYPE prefix_run_mallocs counter
+prefix_run_mallocs{benchmark="mcf",run="baseline"} 42
+prefix_run_mallocs{benchmark="mcf",run="hds+hot"} 40
+# TYPE prefix_stage_seconds histogram
+prefix_stage_seconds_bucket{le="0.001"} 2
+prefix_stage_seconds_bucket{le="0.01"} 3
+prefix_stage_seconds_bucket{le="+Inf"} 4
+prefix_stage_seconds_sum 5.003
+prefix_stage_seconds_count 4
+`
+	if b.String() != want {
+		t.Errorf("prometheus exposition mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("allocs", "run", "hot").Add(7)
+	r.Gauge("peak_bytes").Set(4096)
+	r.Histogram("lat", []float64{1, 2}).Observe(1.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "counters": {
+    "allocs{run=\"hot\"}": 7
+  },
+  "gauges": {
+    "peak_bytes": 4096
+  },
+  "histograms": {
+    "lat": {
+      "bounds": [
+        1,
+        2
+      ],
+      "counts": [
+        0,
+        1,
+        0
+      ],
+      "sum": 1.5,
+      "count": 1
+    }
+  }
+}
+`
+	if b.String() != want {
+		t.Errorf("json mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(fakeClock(time.Millisecond)) // epoch consumes the first tick
+
+	root := tr.Start("benchmark mcf") // 1ms after epoch -> ts 1000µs
+	prof := root.Child("profile")     // ts 2000µs
+	prof.Set("events", 10)
+	prof.End() // dur 1ms
+	root.End() // dur 3ms
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "traceEvents": [
+    {
+      "name": "benchmark mcf",
+      "cat": "phase",
+      "ph": "X",
+      "ts": 1000,
+      "dur": 3000,
+      "pid": 1,
+      "tid": 1
+    },
+    {
+      "name": "profile",
+      "cat": "phase",
+      "ph": "X",
+      "ts": 2000,
+      "dur": 1000,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "events": 10
+      }
+    }
+  ]
+}
+`
+	if b.String() != want {
+		t.Errorf("chrome trace mismatch:\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestSummaryGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(fakeClock(time.Millisecond))
+
+	root := tr.Start("benchmark mcf")
+	prof := root.Child("profile")
+	prof.Set("events", 10)
+	prof.End()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"phase timing:", "benchmark mcf", "profile", "3ms", "1ms", "33.3%", "events=10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSpanTreeAndEndSemantics pins nesting, double-End, and the
+// close-open-children-on-parent-End behaviour.
+func TestSpanTreeAndEndSemantics(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(fakeClock(time.Millisecond))
+
+	root := tr.Start("root") // start 1ms
+	a := root.Child("a")     // start 2ms
+	b := a.Child("b")        // start 3ms
+	_ = b                    // left open: root.End must close it
+	root.End()               // 4ms
+	root.End()               // no-op: keeps the first end time
+	if got := root.Duration(); got != 3*time.Millisecond {
+		t.Errorf("root duration = %v, want 3ms", got)
+	}
+	if got := a.Duration(); got != 2*time.Millisecond {
+		t.Errorf("open child cut at parent end: a = %v, want 2ms", got)
+	}
+	if got := b.Duration(); got != time.Millisecond {
+		t.Errorf("grandchild cut at parent end: b = %v, want 1ms", got)
+	}
+	roots := tr.Roots()
+	if len(roots) != 1 || len(roots[0].Children()) != 1 || len(a.Children()) != 1 {
+		t.Error("span tree shape wrong")
+	}
+
+	h := NewRegistry().Histogram("d", []float64{0.0015, 0.01})
+	tr.ObserveDurations(h)
+	if h.Count() != 3 {
+		t.Errorf("ObserveDurations count = %d, want 3", h.Count())
+	}
+	if got := h.BucketCounts(); got[0] != 1 || got[1] != 2 {
+		t.Errorf("duration buckets = %v, want [1 2 0]", got)
+	}
+}

@@ -1,0 +1,310 @@
+// Package obs is the observability substrate of the reproduction: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) and a phase tracer (nested spans), with exporters for
+// Prometheus text exposition, JSON, and the Chrome trace-event format
+// (loadable in chrome://tracing and Perfetto).
+//
+// Everything is nil-safe: a nil *Registry hands out nil instruments, a
+// nil *Tracer hands out nil spans, and every method on a nil instrument
+// or span is a no-op. Instrumented code therefore never branches on
+// "observability enabled" — it unconditionally calls into obs, and runs
+// with no registry attached pay only a nil check. The simulation's
+// reported numbers are computed entirely outside this package, so
+// attaching or detaching a registry can never change a result.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric series. Series are identified by a family
+// name plus an optional label set; the same (name, labels) pair always
+// returns the same instrument. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // keyed by full series name (name + rendered labels)
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+type series struct {
+	family string // name without labels
+	labels string // rendered `{k="v",...}` or ""
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// renderLabels formats alternating key, value pairs as a Prometheus label
+// set, sorted by key. An empty list renders as "".
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		kv = append(kv, "MISSING")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the series for (name, labels), creating it with the
+// given kind on first use. A kind mismatch on an existing series returns
+// nil (the caller's instrument methods then no-op rather than corrupt a
+// differently-typed series).
+func (r *Registry) lookup(name string, k kind, buckets []float64, kv []string) *series {
+	labels := renderLabels(kv)
+	key := name + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[key]
+	if !ok {
+		s = &series{family: name, labels: labels, kind: k}
+		switch k {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = newHistogram(buckets)
+		}
+		r.series[key] = s
+	}
+	if s.kind != k {
+		return nil
+	}
+	return s
+}
+
+// Counter returns the counter series for name with the given alternating
+// label key, value pairs, creating it at zero on first use. Nil-safe: a
+// nil registry returns a nil counter whose methods no-op.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, kindCounter, nil, kv)
+	if s == nil {
+		return nil
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge series for name, creating it on first use.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, kindGauge, nil, kv)
+	if s == nil {
+		return nil
+	}
+	return s.gauge
+}
+
+// Histogram returns the fixed-bucket histogram series for name, creating
+// it on first use. The buckets are upper bounds (v <= bound lands in the
+// bucket, Prometheus `le` semantics); they are sorted and deduplicated,
+// and only apply on first creation. An implicit +Inf bucket always
+// exists.
+func (r *Registry) Histogram(name string, buckets []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, kindHistogram, buckets, kv)
+	if s == nil {
+		return nil
+	}
+	return s.hist
+}
+
+// snapshot returns the registry's series sorted by family then labels.
+func (r *Registry) snapshot() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].family != out[j].family {
+			return out[i].family < out[j].family
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d. No-op on nil.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Observations are counted in
+// the first bucket whose upper bound is >= v (le semantics); values above
+// every bound land in the implicit +Inf bucket.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted, deduplicated upper bounds, excluding +Inf
+	counts  []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum     float64
+	samples uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	dedup := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != bounds[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	bounds = dedup
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.samples++
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// BucketCounts returns the per-bucket counts including the trailing +Inf
+// bucket, matching Bounds() plus one.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.counts...)
+}
+
+// Bounds returns the histogram's finite upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// TimeBuckets are the default duration buckets (seconds) used for phase
+// timings: 1µs .. 10s, decade-spaced.
+var TimeBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "benchmark", "mcf")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("ops_total", "benchmark", "mcf").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// A different label set is a different series.
+	if got := r.Counter("ops_total", "benchmark", "leela").Value(); got != 0 {
+		t.Errorf("other series = %d, want 0", got)
+	}
+
+	g := r.Gauge("occupancy")
+	g.Set(0.5)
+	g.Add(0.25)
+	if got := r.Gauge("occupancy").Value(); got != 0.75 {
+		t.Errorf("gauge = %v, want 0.75", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "b", "2", "a", "1").Inc()
+	if got := r.Counter("x", "a", "1", "b", "2").Value(); got != 1 {
+		t.Errorf("label order should not split series: got %d, want 1", got)
+	}
+}
+
+func TestKindMismatchIsNoop(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m").Inc()
+	g := r.Gauge("m") // same series name, wrong kind
+	g.Set(3)          // must not panic or corrupt the counter
+	if got := r.Counter("m").Value(); got != 1 {
+		t.Errorf("counter corrupted by kind mismatch: %d", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (v <= bound) semantics on the
+// exact boundary values.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{4, 1, 2, 2}) // unsorted + dup on purpose
+	if got := h.Bounds(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("bounds = %v, want [1 2 4]", got)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	// 0.5,1 -> le=1; 1.5,2 -> le=2; 3,4 -> le=4; 5,100 -> +Inf
+	want := []uint64{2, 2, 2, 2}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0.5+1+1.5+2+3+4+5+100 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+// TestNilSafety drives every instrument and span method through nil
+// receivers: the no-op path the simulation takes when observability is
+// off.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "k", "v").Inc()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	r.Histogram("h", TimeBuckets).Observe(1)
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h", nil).Count() != 0 {
+		t.Error("nil registry must read as zero")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+
+	var tr *Tracer
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	c := sp.Child("x")
+	c.Set("k", 1)
+	c.End()
+	sp.End()
+	if sp.Duration() != 0 || c.Children() != nil {
+		t.Error("nil span must be inert")
+	}
+	tr.ObserveDurations(r.Histogram("h", nil))
+	if err := tr.WriteSummary(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteSummary: %v", err)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines; run
+// under -race this is the concurrency guarantee of the package.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter("per_worker_total", "w", string(rune('a'+id))).Inc()
+				r.Gauge("last").Set(float64(i))
+				r.Gauge("sum").Add(1)
+				r.Histogram("dist", []float64{100, 500, 900}).Observe(float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*perWorker {
+		t.Errorf("shared_total = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("sum").Value(); got != workers*perWorker {
+		t.Errorf("sum gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("dist", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := r.Counter("per_worker_total", "w", string(rune('a'+w))).Value(); got != perWorker {
+			t.Errorf("worker %d = %d, want %d", w, got, perWorker)
+		}
+	}
+}

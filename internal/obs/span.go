@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records a forest of phase spans. All methods are safe for
+// concurrent use; a nil *Tracer hands out nil spans, so instrumentation
+// costs one nil check when tracing is off.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	epoch time.Time
+	roots []*Span
+}
+
+// NewTracer returns a tracer whose clock is the wall clock.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now}
+	t.epoch = t.now()
+	return t
+}
+
+// SetClock replaces the tracer's time source and resets its epoch — the
+// hook that makes exporter output deterministic in tests.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.epoch = now()
+}
+
+// Start opens a new root span. Nil-safe: a nil tracer returns a nil span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tracer: t, Name: name, start: t.now().Sub(t.epoch)}
+	s.end = -1
+	t.roots = append(t.roots, s)
+	return s
+}
+
+// Roots returns the root spans recorded so far.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed phase. Spans nest: children are created with Child
+// and must end before (or be cut off by) their parent's End.
+type Span struct {
+	tracer *Tracer
+	Name   string
+
+	start, end time.Duration // offsets from the tracer epoch; end < 0 while open
+	args       map[string]any
+	children   []*Span
+}
+
+// Child opens a nested span. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Span{tracer: t, Name: name, start: t.now().Sub(t.epoch)}
+	c.end = -1
+	s.children = append(s.children, c)
+	return c
+}
+
+// Set attaches a key/value annotation (a per-stage counter, a size, a
+// config note) exported into the trace-event args. Nil-safe.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	if s.args == nil {
+		s.args = make(map[string]any)
+	}
+	s.args[key] = value
+}
+
+// End closes the span. Ending twice keeps the first end time. Open
+// children are closed at the same instant. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.endLocked(t.now().Sub(t.epoch))
+}
+
+func (s *Span) endLocked(at time.Duration) {
+	if s.end >= 0 {
+		return
+	}
+	s.end = at
+	for _, c := range s.children {
+		c.endLocked(at)
+	}
+}
+
+// Duration returns the span's length (0 while open or on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	if s.end < 0 {
+		return 0
+	}
+	return s.end - s.start
+}
+
+// Children returns the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Args returns the span's annotations with keys sorted, as key/value
+// pairs (flattened for deterministic iteration).
+func (s *Span) Args() (keys []string, values []any) {
+	if s == nil {
+		return nil, nil
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	for k := range s.args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		values = append(values, s.args[k])
+	}
+	return keys, values
+}
+
+// ObserveDurations folds every finished span's duration (seconds) into
+// h — the bridge from phase tracing to the metrics registry. Nil-safe in
+// both directions.
+func (t *Tracer) ObserveDurations(h *Histogram) {
+	if t == nil || h == nil {
+		return
+	}
+	for _, root := range t.Roots() {
+		root.ObserveDurations(h)
+	}
+}
+
+// ObserveDurations folds this span's and every descendant's finished
+// duration (seconds) into h. Use the span-level form when one tracer
+// accumulates several roots and only the newest should be counted.
+func (s *Span) ObserveDurations(h *Histogram) {
+	if s == nil || h == nil {
+		return
+	}
+	walkSpans(s, func(sp *Span) {
+		if sp.ended() {
+			h.Observe(sp.Duration().Seconds())
+		}
+	})
+}
+
+func (s *Span) ended() bool {
+	if s == nil {
+		return false
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.end >= 0
+}
+
+// walkSpans visits s and its descendants depth-first.
+func walkSpans(s *Span, f func(*Span)) {
+	if s == nil {
+		return
+	}
+	f(s)
+	for _, c := range s.Children() {
+		walkSpans(c, f)
+	}
+}

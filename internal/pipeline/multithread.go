@@ -59,19 +59,32 @@ func RunMultithreaded(name string, threadCounts []int, opt Options) ([]MTResult,
 		return nil, err
 	}
 
+	root := opt.Tracer.Start("multithreaded " + name)
+	defer root.End()
+
 	wcfg := evalConfig(spec, opt)
 	var out []MTResult
 	for _, k := range threadCounts {
 		wcfg.Threads = k
+		span := root.Child(fmt.Sprintf("eval threads=%d", k))
 
 		baseGroup := machine.NewGroup(baselines.NewBaseline(opt.Cache.Cost), opt.Cache, k, nil)
 		runGroup(mt, baseGroup, wcfg, k)
-		_, baseCycles, _ := baseGroup.Finish()
+		_, baseCycles, baseTotal := baseGroup.Finish()
 
 		alloc := prefix.NewAllocator(plan, opt.Cache.Cost)
 		optGroup := machine.NewGroup(alloc, opt.Cache, k, nil)
 		runGroup(mt, optGroup, wcfg, k)
-		_, optCycles, _ := optGroup.Finish()
+		_, optCycles, optTotal := optGroup.Finish()
+
+		if reg := opt.Metrics; reg != nil {
+			threads := fmt.Sprint(k)
+			baseTotal.Publish(reg, "benchmark", name, "run", "baseline", "threads", threads)
+			optTotal.Publish(reg, "benchmark", name, "run", "prefix", "threads", threads)
+			alloc.Publish(reg, "benchmark", name, "run", "prefix", "threads", threads)
+		}
+		span.Set("threads", k)
+		span.End()
 
 		r := MTResult{
 			Threads:        k,

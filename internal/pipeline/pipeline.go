@@ -15,6 +15,7 @@ import (
 	"prefix/internal/hotness"
 	"prefix/internal/machine"
 	"prefix/internal/mem"
+	"prefix/internal/obs"
 	"prefix/internal/prefix"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
@@ -36,6 +37,13 @@ type Options struct {
 	CaptureLongRun bool
 	// Variants to evaluate; defaults to all three.
 	Variants []prefix.Variant
+	// Metrics, when non-nil, receives every stage's counters and every
+	// run's metrics (exportable as Prometheus text or JSON). Tracer, when
+	// non-nil, receives one span per Figure-8 phase. Both default to nil;
+	// the no-op path does no observability work, so reported numbers are
+	// identical with or without them.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // DefaultOptions returns the standard evaluation setup.
@@ -63,26 +71,71 @@ type Profile struct {
 // CollectProfile runs the benchmark's profiling input under the tracing
 // machine with the baseline allocator and analyzes the trace.
 func CollectProfile(spec workloads.Spec, opt Options) (*Profile, error) {
+	span := opt.Tracer.Start("profile " + spec.Program.Name())
+	defer span.End()
+	return collectProfile(spec, opt, span)
+}
+
+// collectProfile is CollectProfile under a caller-provided parent span:
+// it emits one child span per profiling stage (profile-run, analyze,
+// hotness, hds-mining) and publishes the stage counters when a registry
+// is attached.
+func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profile, error) {
+	name := spec.Program.Name()
+
+	runSpan := parent.Child("profile-run")
 	rec := trace.NewRecorder()
 	alloc := baselines.NewBaseline(opt.Cache.Cost)
 	m := machine.New(alloc, opt.Cache, machine.WithRecorder(rec))
 	spec.Program.Run(m, spec.Profile)
 	metrics := m.Finish()
+	tr := rec.Trace()
+	runSpan.Set("events", len(tr.Events))
+	runSpan.End()
 
-	a := trace.Analyze(rec.Trace())
+	anSpan := parent.Child("analyze")
+	a := trace.Analyze(tr)
 	if a.HeapAccesses == 0 {
-		return nil, fmt.Errorf("pipeline: %s profiling run produced no heap accesses", spec.Program.Name())
+		anSpan.End()
+		return nil, fmt.Errorf("pipeline: %s profiling run produced no heap accesses", name)
 	}
-	cfg := opt.Plan
-	cfg.Benchmark = spec.Program.Name()
-	hot := prefix.SelectHot(a, cfg)
+	anSpan.Set("objects", len(a.Objects))
+	anSpan.Set("heap_accesses", a.HeapAccesses)
+	anSpan.End()
 
+	hotSpan := parent.Child("hotness")
+	cfg := opt.Plan
+	cfg.Benchmark = name
+	hot := prefix.SelectHot(a, cfg)
+	hotSpan.Set("hot_objects", len(hot.Objects))
+	hotSpan.Set("coverage_pct", hot.CoveragePct())
+	hotSpan.End()
+
+	mineSpan := parent.Child("hds-mining")
 	refs := hds.CollapseRefs(a.Refs, hot.IDs)
+	lcs := weigh(hds.MineLCS(refs, cfg.HDS), hot)
+	seq := weigh(hds.MineSequitur(refs, cfg.HDS), hot)
+	mineSpan.Set("streams_lcs", len(lcs))
+	mineSpan.Set("streams_sequitur", len(seq))
+	mineSpan.End()
+
+	if reg := opt.Metrics; reg != nil {
+		kv := []string{"benchmark", name}
+		metrics.Publish(reg, append(kv, "run", "profile")...)
+		reg.Counter("prefix_profile_trace_events_total", kv...).Add(uint64(len(tr.Events)))
+		reg.Counter("prefix_profile_heap_accesses_total", kv...).Add(a.HeapAccesses)
+		reg.Gauge("prefix_profile_objects", kv...).Set(float64(len(a.Objects)))
+		reg.Gauge("prefix_profile_hot_objects", kv...).Set(float64(len(hot.Objects)))
+		reg.Gauge("prefix_profile_hot_coverage_pct", kv...).Set(hot.CoveragePct())
+		reg.Gauge("prefix_profile_streams_lcs", kv...).Set(float64(len(lcs)))
+		reg.Gauge("prefix_profile_streams_sequitur", kv...).Set(float64(len(seq)))
+	}
+
 	return &Profile{
 		Analysis:        a,
 		Hot:             hot,
-		StreamsLCS:      weigh(hds.MineLCS(refs, cfg.HDS), hot),
-		StreamsSequitur: weigh(hds.MineSequitur(refs, cfg.HDS), hot),
+		StreamsLCS:      lcs,
+		StreamsSequitur: seq,
 		Metrics:         metrics,
 	}, nil
 }

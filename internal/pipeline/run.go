@@ -6,6 +6,7 @@ import (
 	"prefix/internal/baselines"
 	"prefix/internal/hds"
 	"prefix/internal/machine"
+	"prefix/internal/obs"
 	"prefix/internal/prefix"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
@@ -41,8 +42,11 @@ func evalConfig(spec workloads.Spec, opt Options) workloads.Config {
 	return spec.Long
 }
 
-// runOne executes the evaluation input on one strategy.
-func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bool) RunResult {
+// runOne executes the evaluation input on one strategy, emitting an
+// "eval <strategy>" span under parent and publishing the run's metrics
+// when opt carries a registry.
+func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bool, parent *obs.Span) RunResult {
+	span := parent.Child("eval " + alloc.Name())
 	var rec *trace.Recorder
 	mopts := []machine.Option{}
 	if record {
@@ -55,6 +59,8 @@ func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bo
 	if rec != nil {
 		res.Trace = rec.Trace()
 	}
+	reg := opt.Metrics
+	kv := []string{"benchmark", spec.Program.Name(), "run", alloc.Name()}
 	switch a := alloc.(type) {
 	case *baselines.Baseline:
 		res.PeakBytes = a.PeakBytes()
@@ -62,15 +68,25 @@ func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bo
 		res.PeakBytes = a.PeakBytes()
 		p := a.Pollution()
 		res.Pollution = &p
+		p.Publish(reg, kv...)
 	case *baselines.HALO:
 		res.PeakBytes = a.PeakBytes()
 		p := a.Pollution()
 		res.Pollution = &p
+		p.Publish(reg, kv...)
 	case *prefix.Allocator:
 		res.PeakBytes = a.PeakBytes()
 		c := a.Capture()
 		res.Capture = &c
+		a.Publish(reg, kv...)
 	}
+	if reg != nil {
+		res.Metrics.Publish(reg, kv...)
+		reg.Gauge("prefix_run_peak_bytes", kv...).Set(float64(res.PeakBytes))
+	}
+	span.Set("cycles", res.Metrics.Cycles)
+	span.Set("instructions", res.Metrics.Instr)
+	span.End()
 	return res
 }
 
@@ -120,16 +136,26 @@ func RunBenchmark(name string, opt Options) (*Comparison, error) {
 	if len(opt.Variants) == 0 {
 		opt.Variants = DefaultOptions().Variants
 	}
-	prof, err := CollectProfile(spec, opt)
+	root := opt.Tracer.Start("benchmark " + name)
+	profSpan := root.Child("profile")
+	prof, err := collectProfile(spec, opt, profSpan)
+	profSpan.End()
 	if err != nil {
+		root.End()
 		return nil, err
 	}
-	return compareStrategies(spec, opt, prof)
+	cmp, err := compareStrategies(spec, opt, prof, root)
+	root.End()
+	if err == nil {
+		root.ObserveDurations(opt.Metrics.Histogram("prefix_stage_seconds", obs.TimeBuckets))
+	}
+	return cmp, err
 }
 
 // compareStrategies runs the evaluation input under every strategy for an
-// already-collected profile.
-func compareStrategies(spec workloads.Spec, opt Options, prof *Profile) (*Comparison, error) {
+// already-collected profile. The root span (nil when tracing is off)
+// receives the per-plan and per-run child spans.
+func compareStrategies(spec workloads.Spec, opt Options, prof *Profile, root *obs.Span) (*Comparison, error) {
 	name := spec.Program.Name()
 	cmp := &Comparison{
 		Benchmark: name,
@@ -143,28 +169,43 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile) (*Compar
 	hotSet := baselines.HotSetOf(prof.Hot)
 
 	// Baseline.
-	cmp.Baseline = runOne(spec, opt, baselines.NewBaseline(cost), false)
+	cmp.Baseline = runOne(spec, opt, baselines.NewBaseline(cost), false, root)
 
 	// HDS baseline: sites from Sequitur streams, per the original work.
 	hdsSites := baselines.HDSSites(prof.Analysis, prof.StreamsSequitur)
-	cmp.HDS = runOne(spec, opt, baselines.NewHDS(hdsSites, hotSet, cost), false)
+	cmp.HDS = runOne(spec, opt, baselines.NewHDS(hdsSites, hotSet, cost), false, root)
 
 	// HALO baseline: affinity-grouped allocation contexts.
 	haloCfg := baselines.PlanHALO(prof.Analysis, prof.Hot, prof.StreamsLCS)
-	cmp.HALO = runOne(spec, opt, baselines.NewHALO(haloCfg, hotSet, cost), false)
+	cmp.HALO = runOne(spec, opt, baselines.NewHALO(haloCfg, hotSet, cost), false, root)
 
 	// PreFix variants.
 	for _, v := range opt.Variants {
 		cfg := opt.Plan
 		cfg.Benchmark = name
 		cfg.Variant = v
+		planSpan := root.Child("plan " + v.String())
+		cfg.Trace = planSpan
 		plan, sum, err := prefix.BuildPlanFromHot(prof.Analysis, prof.Hot, cfg)
 		if err != nil {
+			planSpan.End()
 			return nil, fmt.Errorf("pipeline: %s %v: %w", name, v, err)
+		}
+		planSpan.Set("sites", plan.NumSites())
+		planSpan.Set("counters", plan.NumCounters())
+		planSpan.Set("region_bytes", plan.RegionSize)
+		planSpan.End()
+		if reg := opt.Metrics; reg != nil {
+			kv := []string{"benchmark", name, "variant", v.String()}
+			reg.Gauge("prefix_plan_sites", kv...).Set(float64(plan.NumSites()))
+			reg.Gauge("prefix_plan_counters", kv...).Set(float64(plan.NumCounters()))
+			reg.Gauge("prefix_plan_region_bytes", kv...).Set(float64(plan.RegionSize))
+			reg.Gauge("prefix_plan_placed_objects", kv...).Set(float64(plan.PlacedObjects))
+			reg.Gauge("prefix_plan_hds_objects", kv...).Set(float64(plan.HDSObjects))
 		}
 		cmp.Plans[v] = plan
 		cmp.Summaries[v] = sum
-		cmp.PreFix[v] = runOne(spec, opt, prefix.NewAllocator(plan, cost), false)
+		cmp.PreFix[v] = runOne(spec, opt, prefix.NewAllocator(plan, cost), false, root)
 	}
 
 	best := opt.Variants[0]
@@ -176,7 +217,7 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile) (*Compar
 	cmp.Best = best
 
 	if opt.CaptureLongRun {
-		lr, err := captureLongRun(spec, opt, cmp.Plans[best])
+		lr, err := captureLongRun(spec, opt, cmp.Plans[best], root)
 		if err != nil {
 			return nil, err
 		}
@@ -204,16 +245,18 @@ func TraceBaselineAndBest(name string, opt Options) (base, best *trace.Trace, er
 	if err != nil {
 		return nil, nil, err
 	}
-	baseRun := runOne(spec, opt, baselines.NewBaseline(opt.Cache.Cost), true)
-	optRun := runOne(spec, opt, prefix.NewAllocator(plan, opt.Cache.Cost), true)
+	baseRun := runOne(spec, opt, baselines.NewBaseline(opt.Cache.Cost), true, nil)
+	optRun := runOne(spec, opt, prefix.NewAllocator(plan, opt.Cache.Cost), true, nil)
 	return baseRun.Trace, optRun.Trace, nil
 }
 
 // captureLongRun re-runs the best variant with tracing and analyzes what
 // was captured (Table 5's long-run columns).
-func captureLongRun(spec workloads.Spec, opt Options, plan *prefix.Plan) (*LongRunCapture, error) {
+func captureLongRun(spec workloads.Spec, opt Options, plan *prefix.Plan, root *obs.Span) (*LongRunCapture, error) {
+	span := root.Child("long-run-capture")
+	defer span.End()
 	alloc := prefix.NewAllocator(plan, opt.Cache.Cost)
-	res := runOne(spec, opt, alloc, true)
+	res := runOne(spec, opt, alloc, true, span)
 	a := trace.Analyze(res.Trace)
 	region := plan.Region()
 

@@ -67,9 +67,13 @@ func runComparison(spec workloads.Spec, opt Options) (*Comparison, error) {
 	if len(opt.Variants) == 0 {
 		opt.Variants = DefaultOptions().Variants
 	}
-	prof, err := CollectProfile(spec, opt)
+	root := opt.Tracer.Start("benchmark " + spec.Program.Name())
+	defer root.End()
+	profSpan := root.Child("profile")
+	prof, err := collectProfile(spec, opt, profSpan)
+	profSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	return compareStrategies(spec, opt, prof)
+	return compareStrategies(spec, opt, prof, root)
 }

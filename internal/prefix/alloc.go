@@ -5,6 +5,7 @@ import (
 	"prefix/internal/context"
 	"prefix/internal/machine"
 	"prefix/internal/mem"
+	"prefix/internal/obs"
 	"prefix/internal/simalloc"
 )
 
@@ -31,6 +32,24 @@ type Capture struct {
 // CallsAvoided is the Table 6 "Calls Avoided" figure: heap mallocs that
 // became preallocated placements.
 func (c Capture) CallsAvoided() uint64 { return c.MallocsAvoided }
+
+// Publish reports the capture statistics — placements, pattern-check
+// outcomes, recycling hits, fallbacks — into reg under the given label
+// pairs. Nil-safe on a nil registry.
+func (c Capture) Publish(reg *obs.Registry, kv ...string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("prefix_capture_mallocs_avoided_total", kv...).Add(c.MallocsAvoided)
+	reg.Counter("prefix_capture_frees_avoided_total", kv...).Add(c.FreesAvoided)
+	reg.Counter("prefix_capture_reallocs_in_place_total", kv...).Add(c.ReallocsInPlace)
+	reg.Counter("prefix_capture_reallocs_moved_total", kv...).Add(c.ReallocsMoved)
+	reg.Counter("prefix_capture_fallback_mallocs_total", kv...).Add(c.FallbackMallocs)
+	reg.Counter("prefix_capture_hybrid_rejects_total", kv...).Add(c.HybridRejects)
+	reg.Counter("prefix_capture_static_total", kv...).Add(c.StaticCaptured)
+	reg.Counter("prefix_capture_recycled_total", kv...).Add(c.RecycledCaptured)
+	reg.Counter("prefix_capture_check_instructions_total", kv...).Add(c.CheckInstr)
+}
 
 // Allocator executes a Plan: the instrumented malloc/free/realloc of the
 // paper's Figures 4–7. Allocations that do not match the plan fall back to
@@ -229,6 +248,39 @@ func (a *Allocator) Realloc(addr mem.Addr, size uint64) (mem.Addr, uint64) {
 // region (reserved up front) plus the fallback heap's peak.
 func (a *Allocator) PeakBytes() uint64 {
 	return a.plan.RegionSize + a.fallback.Stats().PeakBytes
+}
+
+// Publish reports the allocator's full runtime state into reg: the
+// capture statistics, region size/occupancy gauges, and the fallback
+// heap's footprint and fragmentation. Nil-safe on a nil registry.
+func (a *Allocator) Publish(reg *obs.Registry, kv ...string) {
+	if reg == nil {
+		return
+	}
+	a.cap.Publish(reg, kv...)
+
+	var staticLive uint64
+	for _, slot := range a.byAddr {
+		staticLive += slot.Size
+	}
+	var ringLive uint64
+	for _, rg := range a.rings {
+		if rg == nil {
+			continue
+		}
+		for _, free := range rg.free {
+			if !free {
+				ringLive += rg.plan.SlotSize
+			}
+		}
+	}
+	reg.Gauge("prefix_region_bytes", kv...).Set(float64(a.plan.RegionSize))
+	reg.Gauge("prefix_region_live_bytes", kv...).Set(float64(staticLive + ringLive))
+	if a.plan.RegionSize > 0 {
+		reg.Gauge("prefix_region_occupancy", kv...).Set(float64(staticLive+ringLive) / float64(a.plan.RegionSize))
+	}
+	reg.Gauge("prefix_peak_bytes", kv...).Set(float64(a.PeakBytes()))
+	a.fallback.Stats().Publish(reg, kv...)
 }
 
 var _ machine.Allocator = (*Allocator)(nil)

@@ -9,6 +9,7 @@ import (
 	"prefix/internal/hotness"
 	"prefix/internal/layout"
 	"prefix/internal/mem"
+	"prefix/internal/obs"
 	"prefix/internal/trace"
 )
 
@@ -54,6 +55,11 @@ type PlanConfig struct {
 	// from the end of the layout order (the coldest singletons) until it
 	// fits. 0 means unlimited.
 	MaxRegionBytes uint64
+	// Trace, when non-nil, receives one child span per planning stage
+	// (mining, reconstitution, context inference, recycling, slot
+	// assignment) with per-stage counters attached. Purely observational:
+	// it never influences the plan.
+	Trace *obs.Span
 }
 
 // DefaultPlanConfig returns the configuration used across the evaluation.
@@ -103,6 +109,7 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	}
 
 	// --- Hot data stream mining -------------------------------------
+	mineSpan := cfg.Trace.Child("hds-mining")
 	refs := hds.CollapseRefs(a.Refs, hot.IDs)
 	var ohds []hds.Stream
 	switch cfg.Miner {
@@ -116,12 +123,20 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 		accesses[o.ID] = o.Accesses
 	}
 	ohds = hds.WeighByAccesses(ohds, accesses)
+	mineSpan.Set("refs", len(refs))
+	mineSpan.Set("streams", len(ohds))
+	mineSpan.End()
 
 	// --- Layout determination (Algorithm 1) -------------------------
+	reconSpan := cfg.Trace.Child("reconstitution")
 	recon := layout.Reconstitute(ohds)
 	if err := recon.Validate(); err != nil {
+		reconSpan.End()
 		return nil, nil, err
 	}
+	reconSpan.Set("rhds", len(recon.RHDS))
+	reconSpan.Set("singletons", len(recon.Singletons))
+	reconSpan.End()
 
 	// Placement order by variant.
 	hotOrder := make([]mem.ObjectID, 0, len(hot.Objects)) // allocation order
@@ -169,6 +184,7 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	// objects receive static slots; recycling applies to qualifying
 	// counters under every variant ("all versions of PreFix perform the
 	// same" on the recycling benchmarks, §3.3).
+	ctxSpan := cfg.Trace.Child("context-inference")
 	hotSites := make(map[mem.SiteID]bool)
 	for site := range hot.PerSite {
 		hotSites[site] = true
@@ -186,13 +202,18 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	}
 	asn, err := context.BuildAssignment(allocs, cfg.Share)
 	if err != nil {
+		ctxSpan.End()
 		return nil, nil, err
 	}
+	ctxSpan.Set("sites", len(hotSites))
+	ctxSpan.Set("counters", len(asn.Counters))
+	ctxSpan.End()
 
 	// --- Recycling decision (§2.4) ------------------------------------
 	// Decide which counters become slot rings *before* assigning static
 	// offsets, so recycled objects never consume static region space
 	// (this is what lets leela/swissmap shrink their footprints).
+	recycleSpan := cfg.Trace.Child("recycling")
 	liveness := hotness.AnalyzeLiveness(a)
 	type ringSpec struct {
 		n        int
@@ -215,8 +236,12 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 			}
 		}
 	}
+	recycleSpan.Set("rings", len(rings))
+	recycleSpan.Set("recycled_objects", len(recycledObj))
+	recycleSpan.End()
 
 	// --- Slot assignment ----------------------------------------------
+	slotSpan := cfg.Trace.Child("slot-assignment")
 	staticOrder := make([]mem.ObjectID, 0, len(order))
 	for _, id := range order {
 		if !recycledObj[id] {
@@ -257,8 +282,12 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	}
 	placement := layout.Assign(staticOrder, sizes)
 	if err := placement.Validate(); err != nil {
+		slotSpan.End()
 		return nil, nil, err
 	}
+	slotSpan.Set("placed", len(placement.Offsets))
+	slotSpan.Set("region_bytes", placement.Total)
+	slotSpan.End()
 
 	plan := &Plan{
 		Benchmark:   cfg.Benchmark,

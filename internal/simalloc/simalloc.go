@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"prefix/internal/mem"
+	"prefix/internal/obs"
 )
 
 const (
@@ -82,6 +83,36 @@ type Stats struct {
 	BrkExtends  uint64
 	Coalesces   uint64
 	FailedFrees uint64 // frees of unknown addresses (always a caller bug)
+}
+
+// Fragmentation returns the share of the heap break not backing live
+// payloads: (GrossBytes - LiveBytes) / GrossBytes, in [0,1]. An empty
+// heap reports 0.
+func (s Stats) Fragmentation() float64 {
+	if s.GrossBytes == 0 {
+		return 0
+	}
+	return float64(s.GrossBytes-s.LiveBytes) / float64(s.GrossBytes)
+}
+
+// Publish reports the heap's activity and footprint — live/gross/peak
+// bytes, fragmentation, operation counts — into reg under the given label
+// pairs. Nil-safe on a nil registry.
+func (s Stats) Publish(reg *obs.Registry, kv ...string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("prefix_heap_mallocs_total", kv...).Add(s.Mallocs)
+	reg.Counter("prefix_heap_frees_total", kv...).Add(s.Frees)
+	reg.Counter("prefix_heap_reallocs_total", kv...).Add(s.Reallocs)
+	reg.Counter("prefix_heap_brk_extends_total", kv...).Add(s.BrkExtends)
+	reg.Counter("prefix_heap_coalesces_total", kv...).Add(s.Coalesces)
+	reg.Counter("prefix_heap_failed_frees_total", kv...).Add(s.FailedFrees)
+	reg.Gauge("prefix_heap_live_bytes", kv...).Set(float64(s.LiveBytes))
+	reg.Gauge("prefix_heap_live_blocks", kv...).Set(float64(s.LiveBlocks))
+	reg.Gauge("prefix_heap_gross_bytes", kv...).Set(float64(s.GrossBytes))
+	reg.Gauge("prefix_heap_peak_bytes", kv...).Set(float64(s.PeakBytes))
+	reg.Gauge("prefix_heap_fragmentation", kv...).Set(s.Fragmentation())
 }
 
 // New creates an empty heap whose break starts at base. Strategies place
