@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench clean
+.PHONY: check fmt vet build test test-short race bench bench-smoke clean
 
 check: fmt vet build race
 
@@ -32,6 +32,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Fast end-to-end smoke of the parallel harness: two benchmarks at
+# reduced scale through the worker pool.
+bench-smoke:
+	$(GO) run ./cmd/prefix-bench -scale bench -jobs 4 -only table3 -bench mcf,health
 
 clean:
 	$(GO) clean ./...

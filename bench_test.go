@@ -195,7 +195,7 @@ func BenchmarkFigure9Heatmap(b *testing.B) {
 	opt.UseBenchScale = true
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		base, best, err := pipeline.TraceBaselineAndBest("leela", opt)
+		base, best, _, err := pipeline.TraceBaselineAndBest("leela", opt)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 //	prefix-bench -only table3         # one table/figure
 //	prefix-bench -bench mcf,health    # a subset of benchmarks
 //	prefix-bench -scale bench         # faster, reduced-scale runs
+//	prefix-bench -jobs 8              # parallel benchmark/seed evaluation
 //	prefix-bench -heatmap-dir out/    # also write Figure 9 CSVs
 //
 // Observability:
@@ -46,6 +47,36 @@ func main() {
 	}
 }
 
+// validateArgs checks every flag combination that can be rejected before
+// any benchmark burns cycles.
+func validateArgs(only, scale string, seeds, jobs int) error {
+	if only != "" {
+		known := false
+		for _, a := range artifacts {
+			if strings.EqualFold(only, a) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("unknown -only artifact %q (valid: %s)", only, strings.Join(artifacts, ", "))
+		}
+	}
+	if scale != "long" && scale != "bench" {
+		return fmt.Errorf("unknown -scale %q (valid: long, bench)", scale)
+	}
+	if jobs < 1 {
+		return fmt.Errorf("-jobs must be at least 1 (got %d)", jobs)
+	}
+	if seeds < 0 {
+		return fmt.Errorf("-seeds must be non-negative (got %d)", seeds)
+	}
+	if strings.EqualFold(only, "variance") && seeds == 0 {
+		return fmt.Errorf("-only variance requires -seeds N (without seeds the sweep has nothing to run)")
+	}
+	return nil
+}
+
 func run() (err error) {
 	var (
 		only       = flag.String("only", "", "emit a single artifact: figure1, figure2, table2..table6, figure9..figure14, variance")
@@ -54,6 +85,7 @@ func run() (err error) {
 		heatmapDir = flag.String("heatmap-dir", "", "directory for Figure 9 heatmap CSVs")
 		capture    = flag.Bool("capture", false, "record long-run traces for Table 5 long-run columns (slower)")
 		seeds      = flag.Int("seeds", 0, "additionally run each benchmark across N perturbed evaluation seeds and report the variance (the paper averages over 10 runs)")
+		jobs       = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark/seed evaluations concurrently (1 = serial; output is identical at any job count)")
 		metricsOut = flag.String("metrics-out", "", "write run metrics to this file (Prometheus text; .json extension selects JSON)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the pipeline phases (chrome://tracing, Perfetto)")
 		cpuprofile = flag.String("cpuprofile", "", "write a Go CPU profile of this process to the file")
@@ -62,20 +94,12 @@ func run() (err error) {
 	)
 	flag.Parse()
 
-	if *only != "" {
-		known := false
-		for _, a := range artifacts {
-			if strings.EqualFold(*only, a) {
-				known = true
-				break
-			}
-		}
-		if !known {
-			return fmt.Errorf("unknown -only artifact %q (valid: %s)", *only, strings.Join(artifacts, ", "))
-		}
+	if err := validateArgs(*only, *scale, *seeds, *jobs); err != nil {
+		return err
 	}
-	if *scale != "long" && *scale != "bench" {
-		return fmt.Errorf("unknown -scale %q (valid: long, bench)", *scale)
+	names, err := workloads.ResolveList(*benchList)
+	if err != nil {
+		return err
 	}
 
 	if *cpuprofile != "" {
@@ -113,13 +137,10 @@ func run() (err error) {
 		}()
 	}
 
-	names := workloads.Names()
-	if *benchList != "" {
-		names = strings.Split(*benchList, ",")
-	}
 	opt := pipeline.DefaultOptions()
 	opt.UseBenchScale = *scale == "bench"
 	opt.CaptureLongRun = *capture
+	opt.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "running %s...\n", msg) }
 	if *metricsOut != "" {
 		opt.Metrics = obs.NewRegistry()
 	}
@@ -140,13 +161,9 @@ func run() (err error) {
 	w := os.Stdout
 	var cmps []*pipeline.Comparison
 	if needComparisons {
-		for _, name := range names {
-			fmt.Fprintf(os.Stderr, "running %s...\n", name)
-			cmp, rerr := pipeline.RunBenchmark(name, opt)
-			if rerr != nil {
-				return rerr
-			}
-			cmps = append(cmps, cmp)
+		cmps, err = pipeline.RunSuite(names, opt, *jobs)
+		if err != nil {
+			return err
 		}
 	}
 
@@ -206,7 +223,7 @@ func run() (err error) {
 	}
 	if want("figure10") {
 		for _, name := range []string{"mysql", "mcf"} {
-			results, rerr := pipeline.RunMultithreaded(name, []int{1, 2, 4, 8, 16}, opt)
+			results, rerr := pipeline.RunMultithreadedJobs(name, []int{1, 2, 4, 8, 16}, opt, *jobs)
 			if rerr != nil {
 				return rerr
 			}
@@ -231,14 +248,9 @@ func run() (err error) {
 	}
 
 	if *seeds > 0 && want("variance") {
-		var vs []*pipeline.Variance
-		for _, name := range names {
-			fmt.Fprintf(os.Stderr, "variance sweep %s (%d seeds)...\n", name, *seeds)
-			v, verr := pipeline.RunVariance(name, *seeds, opt)
-			if verr != nil {
-				return verr
-			}
-			vs = append(vs, v)
+		vs, verr := pipeline.RunSuiteVariance(names, *seeds, opt, *jobs)
+		if verr != nil {
+			return verr
 		}
 		if verr := report.VarianceTable(w, vs); verr != nil {
 			return verr
@@ -269,10 +281,11 @@ func run() (err error) {
 // optionally dumps) the access heatmaps.
 func figure9(w *os.File, opt pipeline.Options, dir string) error {
 	fmt.Fprintln(os.Stderr, "tracing leela for figure 9...")
-	base, best, err := pipeline.TraceBaselineAndBest("leela", opt)
+	base, best, variant, err := pipeline.TraceBaselineAndBest("leela", opt)
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "figure 9 traces leela's best variant: %s\n", variant)
 	hb := report.BuildHeatmap(base, 120, 80)
 	ho := report.BuildHeatmap(best, 120, 80)
 	report.Figure9(w, "leela", hb, ho)

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateArgs(t *testing.T) {
+	cases := []struct {
+		name    string
+		only    string
+		scale   string
+		seeds   int
+		jobs    int
+		wantErr string // substring; "" = valid
+	}{
+		{"defaults", "", "long", 0, 4, ""},
+		{"one artifact", "table3", "bench", 0, 1, ""},
+		{"variance with seeds", "variance", "long", 5, 2, ""},
+		{"variance case-insensitive", "VARIANCE", "long", 3, 1, ""},
+		{"variance without seeds", "variance", "long", 0, 1, "-only variance requires -seeds"},
+		{"unknown artifact", "table99", "long", 0, 1, "unknown -only artifact"},
+		{"unknown scale", "", "huge", 0, 1, "unknown -scale"},
+		{"zero jobs", "", "long", 0, 0, "-jobs must be at least 1"},
+		{"negative jobs", "", "long", 0, -3, "-jobs must be at least 1"},
+		{"negative seeds", "", "long", -1, 1, "-seeds must be non-negative"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateArgs(c.only, c.scale, c.seeds, c.jobs)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateArgs = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("validateArgs = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	prefix-opt -bench mcf                       # compare all strategies
+//	prefix-opt -bench mcf,health -jobs 2        # several benchmarks, in parallel
 //	prefix-opt -bench mcf -plan mcf.plan.json   # run a saved plan
 //	prefix-opt -bench mcf -metrics-out run.prom -trace-out phases.json -v
 package main
@@ -36,9 +37,10 @@ func main() {
 
 func run() (err error) {
 	var (
-		bench      = flag.String("bench", "", "benchmark name (required)")
-		planPath   = flag.String("plan", "", "PreFix plan JSON (from prefix-analyze); when set, only that plan is run against the baseline")
+		bench      = flag.String("bench", "", "benchmark name, or a comma-separated list (required)")
+		planPath   = flag.String("plan", "", "PreFix plan JSON (from prefix-analyze); when set, only that plan is run against the baseline (single -bench only)")
 		scale      = flag.String("scale", "long", "evaluation scale: bench or long")
+		jobs       = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark evaluations concurrently (1 = serial)")
 		paperHW    = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
 		metricsOut = flag.String("metrics-out", "", "write run metrics to this file (Prometheus text; .json extension selects JSON)")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the pipeline phases")
@@ -53,6 +55,16 @@ func run() (err error) {
 	}
 	if *scale != "long" && *scale != "bench" {
 		return fmt.Errorf("unknown -scale %q (valid: long, bench)", *scale)
+	}
+	if *jobs < 1 {
+		return fmt.Errorf("-jobs must be at least 1 (got %d)", *jobs)
+	}
+	names, err := workloads.ResolveList(*bench)
+	if err != nil {
+		return err
+	}
+	if *planPath != "" && len(names) != 1 {
+		return fmt.Errorf("-plan runs a single benchmark; got %d in -bench %q", len(names), *bench)
 	}
 
 	if *cpuprofile != "" {
@@ -106,9 +118,9 @@ func run() (err error) {
 	fmt.Fprintln(tw, "strategy\tcycles\tvs baseline\tL1 miss\tLLC miss\tstalls\tpeak")
 
 	if *planPath != "" {
-		err = runSavedPlan(tw, *bench, *planPath, opt)
+		err = runSavedPlan(tw, names[0], *planPath, opt)
 	} else {
-		err = runComparison(tw, *bench, opt)
+		err = runComparison(tw, names, opt, *jobs)
 	}
 	if err != nil {
 		return err
@@ -137,25 +149,33 @@ func run() (err error) {
 	return nil
 }
 
-func runComparison(tw *tabwriter.Writer, bench string, opt pipeline.Options) error {
-	cmp, err := pipeline.RunBenchmark(bench, opt)
+func runComparison(tw *tabwriter.Writer, names []string, opt pipeline.Options, jobs int) error {
+	cmps, err := pipeline.RunSuite(names, opt, jobs)
 	if err != nil {
 		return err
 	}
-	row := func(name string, r pipeline.RunResult) {
-		m := r.Metrics
-		fmt.Fprintf(tw, "%s\t%.4g\t%+.2f%%\t%.3f%%\t%.4f%%\t%.1f%%\t%d\n",
-			name, m.Cycles, r.TimeDeltaPct(cmp.Baseline),
-			100*m.Cache.L1MissRate(), 100*m.Cache.LLCMissRate(),
-			m.BackendStallPct(), r.PeakBytes)
+	for i, cmp := range cmps {
+		if len(cmps) > 1 {
+			if i > 0 {
+				fmt.Fprintln(tw)
+			}
+			fmt.Fprintf(tw, "%s\n", cmp.Benchmark)
+		}
+		row := func(name string, r pipeline.RunResult) {
+			m := r.Metrics
+			fmt.Fprintf(tw, "%s\t%.4g\t%+.2f%%\t%.3f%%\t%.4f%%\t%.1f%%\t%d\n",
+				name, m.Cycles, r.TimeDeltaPct(cmp.Baseline),
+				100*m.Cache.L1MissRate(), 100*m.Cache.LLCMissRate(),
+				m.BackendStallPct(), r.PeakBytes)
+		}
+		row("baseline", cmp.Baseline)
+		row("hds", cmp.HDS)
+		row("halo", cmp.HALO)
+		for _, v := range []core.Variant{core.VariantHot, core.VariantHDS, core.VariantHDSHot} {
+			row(v.String(), cmp.PreFix[v])
+		}
+		fmt.Fprintf(tw, "best\t%s\t%+.2f%%\t\t\t\t\n", cmp.Best, cmp.BestResult().TimeDeltaPct(cmp.Baseline))
 	}
-	row("baseline", cmp.Baseline)
-	row("hds", cmp.HDS)
-	row("halo", cmp.HALO)
-	for _, v := range []core.Variant{core.VariantHot, core.VariantHDS, core.VariantHDSHot} {
-		row(v.String(), cmp.PreFix[v])
-	}
-	fmt.Fprintf(tw, "best\t%s\t%+.2f%%\t\t\t\t\n", cmp.Best, cmp.BestResult().TimeDeltaPct(cmp.Baseline))
 	return nil
 }
 

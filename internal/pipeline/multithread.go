@@ -27,6 +27,15 @@ type MTResult struct {
 // program is then run with each thread count. Only benchmarks whose
 // program implements workloads.MultiThreaded are eligible.
 func RunMultithreaded(name string, threadCounts []int, opt Options) ([]MTResult, error) {
+	return RunMultithreadedJobs(name, threadCounts, opt, 1)
+}
+
+// RunMultithreadedJobs is RunMultithreaded with the thread-count sweep
+// run on a bounded worker pool of `jobs` workers. Every thread count
+// evaluates against the same read-only plan with its own machine group,
+// and results are indexed by position in threadCounts, so the Figure 10
+// series is identical at any job count.
+func RunMultithreadedJobs(name string, threadCounts []int, opt Options, jobs int) ([]MTResult, error) {
 	spec, err := workloads.Get(name)
 	if err != nil {
 		return nil, err
@@ -62,9 +71,12 @@ func RunMultithreaded(name string, threadCounts []int, opt Options) ([]MTResult,
 	root := opt.Tracer.Start("multithreaded " + name)
 	defer root.End()
 
-	wcfg := evalConfig(spec, opt)
-	var out []MTResult
-	for _, k := range threadCounts {
+	base := evalConfig(spec, opt)
+	out := make([]MTResult, len(threadCounts))
+	errs := runJobs(len(threadCounts), jobs, func(i int) error {
+		k := threadCounts[i]
+		opt.progress(fmt.Sprintf("%s threads=%d", name, k))
+		wcfg := base
 		wcfg.Threads = k
 		span := root.Child(fmt.Sprintf("eval threads=%d", k))
 
@@ -79,9 +91,12 @@ func RunMultithreaded(name string, threadCounts []int, opt Options) ([]MTResult,
 
 		if reg := opt.Metrics; reg != nil {
 			threads := fmt.Sprint(k)
-			baseTotal.Publish(reg, "benchmark", name, "run", "baseline", "threads", threads)
-			optTotal.Publish(reg, "benchmark", name, "run", "prefix", "threads", threads)
-			alloc.Publish(reg, "benchmark", name, "run", "prefix", "threads", threads)
+			kv := func(run string) []string {
+				return append([]string{"benchmark", name, "run", run, "threads", threads}, opt.Labels...)
+			}
+			baseTotal.Publish(reg, kv("baseline")...)
+			optTotal.Publish(reg, kv("prefix")...)
+			alloc.Publish(reg, kv("prefix")...)
 		}
 		span.Set("threads", k)
 		span.End()
@@ -95,7 +110,13 @@ func RunMultithreaded(name string, threadCounts []int, opt Options) ([]MTResult,
 		if baseCycles > 0 {
 			r.ImprovementPct = 100 * (baseCycles - optCycles) / baseCycles
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err := joinErrors(errs, func(i int) string {
+		return fmt.Sprintf("%s threads=%d", name, threadCounts[i])
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -44,6 +44,22 @@ type Options struct {
 	// identical with or without them.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Labels are extra label key/value pairs appended to every metric
+	// series the pipeline publishes. The variance sweep uses it to attach
+	// a "seed" label so all N seed runs survive in the export instead of
+	// overwriting one another.
+	Labels []string
+	// Progress, when non-nil, is called as each suite job starts (the
+	// CLIs print stderr progress lines through it). Suite runners invoke
+	// it from worker goroutines, so it must be safe for concurrent use.
+	Progress func(msg string)
+}
+
+// progress invokes the Progress callback when one is set.
+func (o Options) progress(msg string) {
+	if o.Progress != nil {
+		o.Progress(msg)
+	}
 }
 
 // DefaultOptions returns the standard evaluation setup.
@@ -120,7 +136,7 @@ func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profil
 	mineSpan.End()
 
 	if reg := opt.Metrics; reg != nil {
-		kv := []string{"benchmark", name}
+		kv := append([]string{"benchmark", name}, opt.Labels...)
 		metrics.Publish(reg, append(kv, "run", "profile")...)
 		reg.Counter("prefix_profile_trace_events_total", kv...).Add(uint64(len(tr.Events)))
 		reg.Counter("prefix_profile_heap_accesses_total", kv...).Add(a.HeapAccesses)

@@ -139,11 +139,19 @@ func TestRunMultithreadedRejectsSingleThreaded(t *testing.T) {
 }
 
 func TestTraceBaselineAndBest(t *testing.T) {
-	base, best, err := TraceBaselineAndBest("swissmap", fastOpt())
+	base, best, variant, err := TraceBaselineAndBest("swissmap", fastOpt())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(base.Events) == 0 || len(best.Events) == 0 {
 		t.Error("empty traces")
+	}
+	// The traced variant must be the one compareStrategies would crown.
+	cmp, err := RunBenchmark("swissmap", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if variant != cmp.Best {
+		t.Errorf("traced variant = %v, but the comparison's best is %v", variant, cmp.Best)
 	}
 }

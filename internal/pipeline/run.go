@@ -60,7 +60,7 @@ func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bo
 		res.Trace = rec.Trace()
 	}
 	reg := opt.Metrics
-	kv := []string{"benchmark", spec.Program.Name(), "run", alloc.Name()}
+	kv := append([]string{"benchmark", spec.Program.Name(), "run", alloc.Name()}, opt.Labels...)
 	switch a := alloc.(type) {
 	case *baselines.Baseline:
 		res.PeakBytes = a.PeakBytes()
@@ -196,7 +196,7 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile, root *ob
 		planSpan.Set("region_bytes", plan.RegionSize)
 		planSpan.End()
 		if reg := opt.Metrics; reg != nil {
-			kv := []string{"benchmark", name, "variant", v.String()}
+			kv := append([]string{"benchmark", name, "variant", v.String()}, opt.Labels...)
 			reg.Gauge("prefix_plan_sites", kv...).Set(float64(plan.NumSites()))
 			reg.Gauge("prefix_plan_counters", kv...).Set(float64(plan.NumCounters()))
 			reg.Gauge("prefix_plan_region_bytes", kv...).Set(float64(plan.RegionSize))
@@ -228,26 +228,56 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile, root *ob
 
 // TraceBaselineAndBest runs the evaluation input under the baseline and
 // under a freshly planned best-variant PreFix allocator, recording both
-// traces — the input of the Figure 9 heatmaps.
-func TraceBaselineAndBest(name string, opt Options) (base, best *trace.Trace, err error) {
+// traces — the input of the Figure 9 heatmaps. "Best" means what it
+// means in compareStrategies: every configured variant is planned and
+// evaluated, and the one with the lowest cycle count is re-run with
+// recording. The chosen variant is returned alongside the traces.
+// Published metrics carry a "phase" label so the selection and trace
+// runs never collide with a suite run's series for the same benchmark.
+func TraceBaselineAndBest(name string, opt Options) (base, best *trace.Trace, bestVariant prefix.Variant, err error) {
 	spec, err := workloads.Get(name)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	prof, err := CollectProfile(spec, opt)
+	if len(opt.Variants) == 0 {
+		opt.Variants = DefaultOptions().Variants
+	}
+	root := opt.Tracer.Start("figure9 " + name)
+	defer root.End()
+	profSpan := root.Child("profile")
+	prof, err := collectProfile(spec, opt, profSpan)
+	profSpan.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	cfg := opt.Plan
-	cfg.Benchmark = name
-	cfg.Variant = prefix.VariantHDSHot
-	plan, _, err := prefix.BuildPlanFromHot(prof.Analysis, prof.Hot, cfg)
-	if err != nil {
-		return nil, nil, err
+
+	selOpt := opt
+	selOpt.Labels = append(append([]string(nil), opt.Labels...), "phase", "figure9-select")
+	var bestPlan *prefix.Plan
+	var bestCycles float64
+	for i, v := range opt.Variants {
+		cfg := opt.Plan
+		cfg.Benchmark = name
+		cfg.Variant = v
+		planSpan := root.Child("plan " + v.String())
+		cfg.Trace = planSpan
+		plan, _, perr := prefix.BuildPlanFromHot(prof.Analysis, prof.Hot, cfg)
+		planSpan.End()
+		if perr != nil {
+			return nil, nil, 0, fmt.Errorf("pipeline: %s %v: %w", name, v, perr)
+		}
+		res := runOne(spec, selOpt, prefix.NewAllocator(plan, opt.Cache.Cost), false, root)
+		if i == 0 || res.Metrics.Cycles < bestCycles {
+			bestCycles = res.Metrics.Cycles
+			bestVariant, bestPlan = v, plan
+		}
 	}
-	baseRun := runOne(spec, opt, baselines.NewBaseline(opt.Cache.Cost), true, nil)
-	optRun := runOne(spec, opt, prefix.NewAllocator(plan, opt.Cache.Cost), true, nil)
-	return baseRun.Trace, optRun.Trace, nil
+
+	recOpt := opt
+	recOpt.Labels = append(append([]string(nil), opt.Labels...), "phase", "figure9")
+	baseRun := runOne(spec, recOpt, baselines.NewBaseline(opt.Cache.Cost), true, root)
+	optRun := runOne(spec, recOpt, prefix.NewAllocator(bestPlan, opt.Cache.Cost), true, root)
+	return baseRun.Trace, optRun.Trace, bestVariant, nil
 }
 
 // captureLongRun re-runs the best variant with tracing and analyzes what

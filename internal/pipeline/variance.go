@@ -2,7 +2,11 @@ package pipeline
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
+	"prefix/internal/obs"
 	"prefix/internal/workloads"
 )
 
@@ -23,57 +27,120 @@ type Variance struct {
 // seeds using a single plan from the unperturbed profile — exactly the
 // deployment situation: one profile, many inputs.
 func RunVariance(name string, runs int, opt Options) (*Variance, error) {
-	if runs <= 0 {
-		return nil, fmt.Errorf("pipeline: runs must be positive")
-	}
-	spec, err := workloads.Get(name)
+	vs, err := RunSuiteVariance([]string{name}, runs, opt, 1)
 	if err != nil {
 		return nil, err
 	}
-	v := &Variance{Benchmark: name, Runs: runs}
-	base := evalConfig(spec, opt)
-	for i := 0; i < runs; i++ {
-		cfg := base
-		cfg.Seed = base.Seed + uint64(i)*1_000_003
-		runSpec := spec
+	return vs[0], nil
+}
+
+// RunSuiteVariance evaluates every named benchmark across `runs`
+// perturbed evaluation seeds on one bounded worker pool of `jobs`
+// workers (1 = the serial path). The unit of work is one
+// (benchmark, seed) evaluation; the profile is collected exactly once
+// per benchmark — the first of its seed jobs to run collects it under
+// the benchmark's "variance" root span, and the remaining seeds reuse
+// the shared *Profile, which compareStrategies treats as read-only.
+// Each seed evaluation runs under its own "seed N" child span and
+// publishes its metrics with a "seed" label, so N runs produce N
+// distinguishable series in the export. Deltas are indexed by seed,
+// never by completion order, so the summary is identical at any job
+// count.
+func RunSuiteVariance(names []string, runs int, opt Options, jobs int) ([]*Variance, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("pipeline: runs must be positive")
+	}
+	if len(opt.Variants) == 0 {
+		opt.Variants = DefaultOptions().Variants
+	}
+	type benchState struct {
+		spec    workloads.Spec
+		base    workloads.Config
+		once    sync.Once
+		root    *obs.Span
+		prof    *Profile
+		profErr error
+		pending atomic.Int64
+		deltas  []float64
+	}
+	states := make([]*benchState, len(names))
+	for i, name := range names {
+		spec, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		st := &benchState{spec: spec, base: evalConfig(spec, opt), deltas: make([]float64, runs)}
+		st.pending.Store(int64(runs))
+		states[i] = st
+	}
+
+	// Jobs are ordered seed-major (the benchmark index varies fastest) so
+	// the per-benchmark profile collections — every seed's shared
+	// dependency — start in parallel instead of the whole pool blocking
+	// on one benchmark's profile.
+	nb := len(names)
+	errs := runJobs(nb*runs, jobs, func(j int) error {
+		bi, si := j%nb, j/nb
+		st := states[bi]
+		name := names[bi]
+		defer func() {
+			// The last seed to finish closes the benchmark's root span.
+			if st.pending.Add(-1) == 0 {
+				st.root.End()
+			}
+		}()
+		st.once.Do(func() {
+			st.root = opt.Tracer.Start("variance " + name)
+			span := st.root.Child("profile")
+			st.prof, st.profErr = collectProfile(st.spec, opt, span)
+			span.End()
+		})
+		if st.profErr != nil {
+			if si == 0 {
+				return st.profErr
+			}
+			return nil // already reported by the benchmark's seed-0 job
+		}
+		opt.progress(fmt.Sprintf("%s seed %d/%d", name, si+1, runs))
+		cfg := st.base
+		cfg.Seed = st.base.Seed + uint64(si)*1_000_003
+		runSpec := st.spec
 		if opt.UseBenchScale {
 			runSpec.Bench = cfg
 		} else {
 			runSpec.Long = cfg
 		}
+		seedOpt := opt
+		seedOpt.Labels = append(append([]string(nil), opt.Labels...), "seed", strconv.Itoa(si))
+		span := st.root.Child("seed " + strconv.Itoa(si))
 		// Keep the profiling input fixed: the plan must survive input
 		// changes (Table 5's claim).
-		cmp, err := runComparison(runSpec, opt)
+		cmp, err := compareStrategies(runSpec, seedOpt, st.prof, span)
+		span.End()
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("seed %d: %w", si, err)
 		}
-		d := cmp.BestResult().TimeDeltaPct(cmp.Baseline)
-		v.Deltas = append(v.Deltas, d)
-		v.MeanPct += d
-		if i == 0 || d < v.MinPct {
-			v.MinPct = d
-		}
-		if i == 0 || d > v.MaxPct {
-			v.MaxPct = d
-		}
-	}
-	v.MeanPct /= float64(runs)
-	return v, nil
-}
-
-// runComparison is RunBenchmark for an already-resolved (possibly
-// modified) spec.
-func runComparison(spec workloads.Spec, opt Options) (*Comparison, error) {
-	if len(opt.Variants) == 0 {
-		opt.Variants = DefaultOptions().Variants
-	}
-	root := opt.Tracer.Start("benchmark " + spec.Program.Name())
-	defer root.End()
-	profSpan := root.Child("profile")
-	prof, err := collectProfile(spec, opt, profSpan)
-	profSpan.End()
-	if err != nil {
+		st.deltas[si] = cmp.BestResult().TimeDeltaPct(cmp.Baseline)
+		return nil
+	})
+	if err := joinErrors(errs, func(j int) string { return names[j%nb] }); err != nil {
 		return nil, err
 	}
-	return compareStrategies(spec, opt, prof, root)
+
+	out := make([]*Variance, len(names))
+	for i, st := range states {
+		v := &Variance{Benchmark: names[i], Runs: runs, Deltas: st.deltas}
+		for si, d := range st.deltas {
+			v.MeanPct += d
+			if si == 0 || d < v.MinPct {
+				v.MinPct = d
+			}
+			if si == 0 || d > v.MaxPct {
+				v.MaxPct = d
+			}
+		}
+		v.MeanPct /= float64(runs)
+		out[i] = v
+	}
+	return out, nil
 }

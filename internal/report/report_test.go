@@ -146,3 +146,56 @@ func TestPct(t *testing.T) {
 		t.Errorf("Pct formatting: %s %s", Pct(-12.5), Pct(3.125))
 	}
 }
+
+// TestReportBytesIdenticalAcrossJobs is the end-to-end determinism
+// guarantee of the parallel evaluation harness: the rendered reports —
+// the bytes prefix-bench writes — must be identical whether the suite
+// ran serially or on eight workers.
+func TestReportBytesIdenticalAcrossJobs(t *testing.T) {
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = true
+	names := []string{"mcf", "ft", "health"}
+	render := func(jobs int) string {
+		cmps, err := pipeline.RunSuite(names, opt, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, emit := range []func(*bytes.Buffer) error{
+			func(b *bytes.Buffer) error { return Table2(b, cmps) },
+			func(b *bytes.Buffer) error { return Table3(b, cmps) },
+			func(b *bytes.Buffer) error { return Table4(b, cmps) },
+			func(b *bytes.Buffer) error { return Figure11(b, cmps) },
+		} {
+			if err := emit(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Errorf("report bytes differ between jobs=1 and jobs=8:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestVarianceTableBytesIdenticalAcrossJobs does the same for the seed
+// sweep, whose jobs additionally share one profile per benchmark.
+func TestVarianceTableBytesIdenticalAcrossJobs(t *testing.T) {
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = true
+	render := func(jobs int) string {
+		vs, err := pipeline.RunSuiteVariance([]string{"mcf", "health"}, 3, opt, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := VarianceTable(&buf, vs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if serial, parallel := render(1), render(6); serial != parallel {
+		t.Errorf("variance table differs between jobs=1 and jobs=6:\n%s\n---\n%s", serial, parallel)
+	}
+}

@@ -13,6 +13,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"prefix/internal/machine"
 )
@@ -98,6 +99,34 @@ func Get(name string) (Spec, error) {
 		return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (have %v)", name, Names())
 	}
 	return s, nil
+}
+
+// ResolveList parses a comma-separated benchmark list as the CLIs
+// accept it: names are trimmed, empty entries and duplicates dropped
+// (first occurrence wins), and every remaining name must be registered
+// — a typo fails here, up front, not minutes into a run. An empty or
+// blank list resolves to Names().
+func ResolveList(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return Names(), nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, raw := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" || seen[name] {
+			continue
+		}
+		if _, err := Get(name); err != nil {
+			return nil, err
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workloads: benchmark list %q names no benchmarks", csv)
+	}
+	return out, nil
 }
 
 // Names lists all registered benchmarks in the paper's table order.

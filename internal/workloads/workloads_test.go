@@ -163,3 +163,33 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 	spec, _ := Get("mcf")
 	register(spec)
 }
+
+func TestResolveList(t *testing.T) {
+	// Trimming, deduplication, and order preservation.
+	names, err := ResolveList(" mcf , health,mcf,,health ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "mcf" || names[1] != "health" {
+		t.Errorf("resolved = %v, want [mcf health]", names)
+	}
+	// Empty input resolves to the full suite.
+	all, err := ResolveList("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(Names()) {
+		t.Errorf("blank list resolved to %d names, want %d", len(all), len(Names()))
+	}
+}
+
+func TestResolveListRejectsUnknown(t *testing.T) {
+	// A typo must fail up front, before any benchmark runs.
+	if _, err := ResolveList("mcf,helath"); err == nil {
+		t.Error("typo in list must error")
+	}
+	// A list of nothing but separators names no benchmarks.
+	if _, err := ResolveList(",, ,"); err == nil {
+		t.Error("empty-after-trim list must error")
+	}
+}

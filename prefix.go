@@ -60,6 +60,8 @@ type (
 	MTResult = pipeline.MTResult
 	// ProfileData is the product of a profiling run.
 	ProfileData = pipeline.Profile
+	// Variance summarizes a benchmark's perturbed-seed sweep.
+	Variance = pipeline.Variance
 )
 
 // CacheConfig describes the simulated memory hierarchy.
@@ -95,6 +97,20 @@ func DefaultPlanConfig(benchmark string, v Variant) PlanConfig {
 // under the baseline, HDS, HALO, and every PreFix variant.
 func RunBenchmark(name string, opt Options) (*Comparison, error) {
 	return pipeline.RunBenchmark(name, opt)
+}
+
+// RunSuite evaluates several benchmarks on a bounded worker pool of
+// `jobs` workers (1 = serial). Results are indexed by position in
+// names, so everything derived from them is identical at any job count.
+func RunSuite(names []string, opt Options, jobs int) ([]*Comparison, error) {
+	return pipeline.RunSuite(names, opt, jobs)
+}
+
+// RunVariance evaluates one benchmark across `runs` perturbed
+// evaluation seeds, collecting the profile once and reusing it for
+// every seed.
+func RunVariance(name string, runs int, opt Options) (*Variance, error) {
+	return pipeline.RunVariance(name, runs, opt)
 }
 
 // RunMultithreaded reproduces the Figure 10 experiment for a
