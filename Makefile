@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench bench-smoke clean
+.PHONY: check fmt vet build test test-short race bench bench-smoke bench-baseline bench-gate clean
 
 check: fmt vet build race
 
@@ -37,6 +37,18 @@ bench:
 # reduced scale through the worker pool.
 bench-smoke:
 	$(GO) run ./cmd/prefix-bench -scale bench -jobs 4 -only table3 -bench mcf,health
+
+# Refresh the committed regression-gate baseline (same run as bench-gate).
+bench-baseline:
+	$(GO) run ./cmd/prefix-bench -scale bench -jobs 4 -only table3 -bench mcf,health \
+		-record-out testdata/bench-smoke-baseline.json > /dev/null
+
+# Regression gate: rerun the smoke suite and diff it against the
+# committed baseline. The threshold is generous because CI only needs to
+# catch breakage, not noise (the simulation itself is deterministic).
+bench-gate:
+	$(GO) run ./cmd/prefix-bench -scale bench -jobs 4 -only table3 -bench mcf,health \
+		-baseline testdata/bench-smoke-baseline.json -regress-pct 50
 
 clean:
 	$(GO) clean ./...

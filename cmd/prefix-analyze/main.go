@@ -7,6 +7,7 @@
 //
 //	prefix-analyze -trace mcf.trace -o mcf.plan.json
 //	prefix-analyze -trace mcf.trace -variant hds -miner sequitur -v
+//	prefix-analyze -trace mcf.trace -trace-out phases.json -metrics-out plan.prom
 package main
 
 import (
@@ -14,34 +15,33 @@ import (
 	"fmt"
 	"os"
 
+	"prefix/internal/obsflags"
 	core "prefix/internal/prefix"
 	"prefix/internal/report"
 	"prefix/internal/trace"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefix-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		in      = flag.String("trace", "", "input trace file (required)")
 		out     = flag.String("o", "", "output plan JSON (default: stdout)")
 		bench   = flag.String("bench", "unknown", "benchmark name recorded in the plan")
 		variant = flag.String("variant", "hds+hot", "placement variant: hot, hds, hds+hot")
 		miner   = flag.String("miner", "lcs", "hot-data-stream miner: lcs or sequitur")
-		verbose = flag.Bool("v", false, "print the analysis summary (OHDS/RHDS)")
+		summary = flag.Bool("summary", false, "print the analysis summary (OHDS/RHDS) to stderr")
+		obsf    = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
-	}
-	tr, err := trace.Read(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
 	}
 
 	var v core.Variant
@@ -53,7 +53,7 @@ func main() {
 	case "hds+hot":
 		v = core.VariantHDSHot
 	default:
-		fatal(fmt.Errorf("unknown variant %q", *variant))
+		return fmt.Errorf("unknown variant %q", *variant)
 	}
 	cfg := core.DefaultPlanConfig(*bench, v)
 	switch *miner {
@@ -62,16 +62,62 @@ func main() {
 	case "sequitur":
 		cfg.Miner = core.MinerSequitur
 	default:
-		fatal(fmt.Errorf("unknown miner %q", *miner))
+		return fmt.Errorf("unknown miner %q", *miner)
 	}
 
-	a := trace.Analyze(tr)
-	plan, sum, err := core.BuildPlan(a, cfg)
+	sess, err := obsf.Start()
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	root := sess.Tracer.Start("analyze " + *bench)
+	defer root.End()
+
+	readSpan := root.Child("read-trace")
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	readSpan.Set("events", len(tr.Events))
+	readSpan.End()
+
+	anSpan := root.Child("analyze")
+	a := trace.Analyze(tr)
+	anSpan.Set("objects", len(a.Objects))
+	anSpan.Set("heap_accesses", a.HeapAccesses)
+	anSpan.End()
+
+	planSpan := root.Child("plan " + v.String())
+	cfg.Trace = planSpan
+	plan, sum, err := core.BuildPlan(a, cfg)
+	planSpan.End()
+	if err != nil {
+		return err
 	}
 
-	if *verbose {
+	if reg := sess.Metrics; reg != nil {
+		kv := []string{"benchmark", *bench, "variant", v.String()}
+		reg.Counter("prefix_analyze_trace_events_total", kv...).Add(uint64(len(tr.Events)))
+		reg.Counter("prefix_analyze_heap_accesses_total", kv...).Add(a.HeapAccesses)
+		reg.Gauge("prefix_analyze_objects", kv...).Set(float64(len(a.Objects)))
+		reg.Gauge("prefix_plan_sites", kv...).Set(float64(plan.NumSites()))
+		reg.Gauge("prefix_plan_counters", kv...).Set(float64(plan.NumCounters()))
+		reg.Gauge("prefix_plan_region_bytes", kv...).Set(float64(plan.RegionSize))
+		reg.Gauge("prefix_plan_placed_objects", kv...).Set(float64(plan.PlacedObjects))
+		reg.Gauge("prefix_plan_hds_objects", kv...).Set(float64(plan.HDSObjects))
+	}
+
+	if *summary {
 		fmt.Fprintf(os.Stderr, "trace: %d events, %d objects, %d heap accesses\n",
 			len(tr.Events), len(a.Objects), a.HeapAccesses)
 		fmt.Fprintf(os.Stderr, "hot: %d objects covering %.1f%% of heap accesses, %d in streams\n",
@@ -91,24 +137,14 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := plan.WriteJSON(f); err != nil {
 			f.Close()
-			fatal(err)
+			return err
 		}
 		// A close error on the output file means a truncated plan; report it.
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		return
+		return f.Close()
 	}
-	if err := plan.WriteJSON(w); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefix-analyze:", err)
-	os.Exit(1)
+	return plan.WriteJSON(w)
 }

@@ -13,9 +13,17 @@
 //
 // Observability:
 //
+//	prefix-bench -serve :8080                  # live /metrics /status /trace
 //	prefix-bench -metrics-out run.prom         # Prometheus text (or .json)
 //	prefix-bench -trace-out phases.json -v     # chrome://tracing + summary
 //	prefix-bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Run history and regression gating:
+//
+//	prefix-bench -record                       # snapshot BENCH_<ts>.json
+//	prefix-bench -baseline BENCH_x.json        # diff against a snapshot,
+//	                                           # exit non-zero on regression
+//	prefix-bench -baseline b.json -regress-pct 10
 package main
 
 import (
@@ -23,11 +31,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"strings"
+	"time"
 
-	"prefix/internal/obs"
+	"prefix/internal/benchstore"
+	"prefix/internal/obsflags"
 	"prefix/internal/pipeline"
 	"prefix/internal/report"
 	"prefix/internal/workloads"
@@ -40,6 +48,13 @@ var artifacts = []string{
 	"variance",
 }
 
+// comparisonArtifacts are the artifacts computed from the comparison
+// suite; -record and -baseline snapshot/diff exactly these runs.
+var comparisonArtifacts = []string{
+	"figure1", "figure2", "table2", "table3", "table4", "table5", "table6",
+	"figure11", "figure12", "figure13", "figure14",
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "prefix-bench:", err)
@@ -49,7 +64,7 @@ func main() {
 
 // validateArgs checks every flag combination that can be rejected before
 // any benchmark burns cycles.
-func validateArgs(only, scale string, seeds, jobs int) error {
+func validateArgs(only, scale string, seeds, jobs int, record bool, baseline string, regressPct float64) error {
 	if only != "" {
 		known := false
 		for _, a := range artifacts {
@@ -74,6 +89,21 @@ func validateArgs(only, scale string, seeds, jobs int) error {
 	if strings.EqualFold(only, "variance") && seeds == 0 {
 		return fmt.Errorf("-only variance requires -seeds N (without seeds the sweep has nothing to run)")
 	}
+	if regressPct < 0 {
+		return fmt.Errorf("-regress-pct must be non-negative (got %g)", regressPct)
+	}
+	if record || baseline != "" {
+		ok := only == ""
+		for _, a := range comparisonArtifacts {
+			if strings.EqualFold(only, a) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("-record/-baseline snapshot the comparison suite; -only %s does not run it (use a table/figure artifact or drop -only)", only)
+		}
+	}
 	return nil
 }
 
@@ -86,15 +116,19 @@ func run() (err error) {
 		capture    = flag.Bool("capture", false, "record long-run traces for Table 5 long-run columns (slower)")
 		seeds      = flag.Int("seeds", 0, "additionally run each benchmark across N perturbed evaluation seeds and report the variance (the paper averages over 10 runs)")
 		jobs       = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark/seed evaluations concurrently (1 = serial; output is identical at any job count)")
-		metricsOut = flag.String("metrics-out", "", "write run metrics to this file (Prometheus text; .json extension selects JSON)")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the pipeline phases (chrome://tracing, Perfetto)")
-		cpuprofile = flag.String("cpuprofile", "", "write a Go CPU profile of this process to the file")
-		memprofile = flag.String("memprofile", "", "write a Go heap profile of this process to the file")
-		verbose    = flag.Bool("v", false, "print a phase-timing summary to stderr at the end of the run")
+		record     = flag.Bool("record", false, "snapshot this run's per-benchmark results to BENCH_<timestamp>.json")
+		recordOut  = flag.String("record-out", "", "write the run snapshot to this file instead of BENCH_<timestamp>.json (implies -record)")
+		baseline   = flag.String("baseline", "", "compare this run against a recorded BENCH_*.json and exit non-zero on regression")
+		regressPct = flag.Float64("regress-pct", 5, "fail the -baseline comparison when any tracked metric regresses by more than this percent")
+		obsf       = obsflags.Register(flag.CommandLine)
 	)
+	obsf.RegisterServe(flag.CommandLine)
 	flag.Parse()
 
-	if err := validateArgs(*only, *scale, *seeds, *jobs); err != nil {
+	if *recordOut != "" {
+		*record = true
+	}
+	if err := validateArgs(*only, *scale, *seeds, *jobs, *record, *baseline, *regressPct); err != nil {
 		return err
 	}
 	names, err := workloads.ResolveList(*benchList)
@@ -102,57 +136,28 @@ func run() (err error) {
 		return err
 	}
 
-	if *cpuprofile != "" {
-		f, cerr := os.Create(*cpuprofile)
-		if cerr != nil {
-			return cerr
-		}
-		if cerr := pprof.StartCPUProfile(f); cerr != nil {
-			f.Close()
-			return cerr
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}()
+	sess, err := obsf.Start()
+	if err != nil {
+		return err
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, merr := os.Create(*memprofile)
-			if merr != nil {
-				if err == nil {
-					err = merr
-				}
-				return
-			}
-			runtime.GC()
-			if merr := pprof.WriteHeapProfile(f); err == nil {
-				err = merr
-			}
-			if merr := f.Close(); err == nil {
-				err = merr
-			}
-		}()
-	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
 
 	opt := pipeline.DefaultOptions()
 	opt.UseBenchScale = *scale == "bench"
 	opt.CaptureLongRun = *capture
-	opt.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "running %s...\n", msg) }
-	if *metricsOut != "" {
-		opt.Metrics = obs.NewRegistry()
-	}
-	if *traceOut != "" || *verbose {
-		opt.Tracer = obs.NewTracer()
-	}
+	opt.Progress = sess.Progress()
+	opt.Metrics = sess.Metrics
+	opt.Tracer = sess.Tracer
 
 	want := func(artifact string) bool {
 		return *only == "" || strings.EqualFold(*only, artifact)
 	}
-	needComparisons := false
-	for _, a := range []string{"figure1", "figure2", "table2", "table3", "table4", "table5", "table6", "figure11", "figure12", "figure13", "figure14"} {
+	needComparisons := *record || *baseline != ""
+	for _, a := range comparisonArtifacts {
 		if want(a) {
 			needComparisons = true
 		}
@@ -257,21 +262,31 @@ func run() (err error) {
 		}
 	}
 
-	if *metricsOut != "" {
-		if merr := opt.Metrics.WriteMetricsFile(*metricsOut); merr != nil {
-			return merr
+	if *record || *baseline != "" {
+		snap := benchstore.FromComparisons(cmps, benchstore.Meta{
+			Timestamp: time.Now(),
+			GitSHA:    benchstore.GitSHA("."),
+			Jobs:      *jobs,
+			Scale:     *scale,
+		})
+		if *record {
+			path := *recordOut
+			if path == "" {
+				path = benchstore.Filename(time.Now())
+			}
+			if werr := snap.WriteFile(path); werr != nil {
+				return werr
+			}
+			fmt.Fprintf(os.Stderr, "run snapshot written to %s\n", path)
 		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
-	}
-	if *traceOut != "" {
-		if terr := opt.Tracer.WriteTraceFile(*traceOut); terr != nil {
-			return terr
-		}
-		fmt.Fprintf(os.Stderr, "phase trace written to %s\n", *traceOut)
-	}
-	if *verbose {
-		if serr := opt.Tracer.WriteSummary(os.Stderr); serr != nil {
-			return serr
+		if *baseline != "" {
+			base, berr := benchstore.ReadFile(*baseline)
+			if berr != nil {
+				return berr
+			}
+			if gerr := benchstore.Gate(w, base, snap, *regressPct); gerr != nil {
+				return gerr
+			}
 		}
 	}
 	return nil

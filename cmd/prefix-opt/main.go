@@ -15,14 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"text/tabwriter"
 
 	"prefix/internal/baselines"
 	"prefix/internal/cachesim"
 	"prefix/internal/machine"
-	"prefix/internal/obs"
+	"prefix/internal/obsflags"
 	"prefix/internal/pipeline"
 	core "prefix/internal/prefix"
 	"prefix/internal/workloads"
@@ -37,17 +35,14 @@ func main() {
 
 func run() (err error) {
 	var (
-		bench      = flag.String("bench", "", "benchmark name, or a comma-separated list (required)")
-		planPath   = flag.String("plan", "", "PreFix plan JSON (from prefix-analyze); when set, only that plan is run against the baseline (single -bench only)")
-		scale      = flag.String("scale", "long", "evaluation scale: bench or long")
-		jobs       = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark evaluations concurrently (1 = serial)")
-		paperHW    = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
-		metricsOut = flag.String("metrics-out", "", "write run metrics to this file (Prometheus text; .json extension selects JSON)")
-		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the pipeline phases")
-		cpuprofile = flag.String("cpuprofile", "", "write a Go CPU profile of this process to the file")
-		memprofile = flag.String("memprofile", "", "write a Go heap profile of this process to the file")
-		verbose    = flag.Bool("v", false, "print a phase-timing summary to stderr at the end of the run")
+		bench    = flag.String("bench", "", "benchmark name, or a comma-separated list (required)")
+		planPath = flag.String("plan", "", "PreFix plan JSON (from prefix-analyze); when set, only that plan is run against the baseline (single -bench only)")
+		scale    = flag.String("scale", "long", "evaluation scale: bench or long")
+		jobs     = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark evaluations concurrently (1 = serial)")
+		paperHW  = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
+		obsf     = obsflags.Register(flag.CommandLine)
 	)
+	obsf.RegisterServe(flag.CommandLine)
 	flag.Parse()
 	if *bench == "" {
 		flag.Usage()
@@ -67,52 +62,24 @@ func run() (err error) {
 		return fmt.Errorf("-plan runs a single benchmark; got %d in -bench %q", len(names), *bench)
 	}
 
-	if *cpuprofile != "" {
-		f, cerr := os.Create(*cpuprofile)
-		if cerr != nil {
-			return cerr
-		}
-		if cerr := pprof.StartCPUProfile(f); cerr != nil {
-			f.Close()
-			return cerr
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}()
+	sess, err := obsf.Start()
+	if err != nil {
+		return err
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, merr := os.Create(*memprofile)
-			if merr != nil {
-				if err == nil {
-					err = merr
-				}
-				return
-			}
-			runtime.GC()
-			if merr := pprof.WriteHeapProfile(f); err == nil {
-				err = merr
-			}
-			if merr := f.Close(); err == nil {
-				err = merr
-			}
-		}()
-	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
 
 	opt := pipeline.DefaultOptions()
 	opt.UseBenchScale = *scale == "bench"
 	if *paperHW {
 		opt.Cache = cachesim.PaperConfig()
 	}
-	if *metricsOut != "" {
-		opt.Metrics = obs.NewRegistry()
-	}
-	if *traceOut != "" || *verbose {
-		opt.Tracer = obs.NewTracer()
-	}
+	opt.Progress = sess.Progress()
+	opt.Metrics = sess.Metrics
+	opt.Tracer = sess.Tracer
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "strategy\tcycles\tvs baseline\tL1 miss\tLLC miss\tstalls\tpeak")
@@ -125,28 +92,7 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	if err := tw.Flush(); err != nil {
-		return err
-	}
-
-	if *metricsOut != "" {
-		if merr := opt.Metrics.WriteMetricsFile(*metricsOut); merr != nil {
-			return merr
-		}
-		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
-	}
-	if *traceOut != "" {
-		if terr := opt.Tracer.WriteTraceFile(*traceOut); terr != nil {
-			return terr
-		}
-		fmt.Fprintf(os.Stderr, "phase trace written to %s\n", *traceOut)
-	}
-	if *verbose {
-		if serr := opt.Tracer.WriteSummary(os.Stderr); serr != nil {
-			return serr
-		}
-	}
-	return nil
+	return tw.Flush()
 }
 
 func runComparison(tw *tabwriter.Writer, names []string, opt pipeline.Options, jobs int) error {

@@ -6,6 +6,7 @@
 //
 //	prefix-trace -bench mcf -o mcf.trace            # profiling input
 //	prefix-trace -bench mcf -scale long -o mcf.trace
+//	prefix-trace -bench mcf -o mcf.trace -metrics-out run.prom -v
 package main
 
 import (
@@ -16,17 +17,26 @@ import (
 	"prefix/internal/baselines"
 	"prefix/internal/cachesim"
 	"prefix/internal/machine"
+	"prefix/internal/obsflags"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prefix-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
 		bench = flag.String("bench", "", "benchmark name (required); see -list")
 		out   = flag.String("o", "", "output trace file (required)")
 		scale = flag.String("scale", "profile", "run scale: profile, bench or long")
 		text  = flag.Bool("text", false, "write a human-readable text dump instead of the binary format")
 		list  = flag.Bool("list", false, "list benchmarks and exit")
+		obsf  = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -34,7 +44,7 @@ func main() {
 		for _, n := range workloads.Names() {
 			fmt.Println(n)
 		}
-		return
+		return nil
 	}
 	if *bench == "" || *out == "" {
 		flag.Usage()
@@ -42,7 +52,7 @@ func main() {
 	}
 	spec, err := workloads.Get(*bench)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := spec.Profile
 	switch *scale {
@@ -52,19 +62,36 @@ func main() {
 	case "long":
 		cfg = spec.Long
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scale))
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 
+	sess, err := obsf.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); err == nil {
+			err = cerr
+		}
+	}()
+
+	root := sess.Tracer.Start("trace " + *bench)
+	runSpan := root.Child("profile-run")
 	rec := trace.NewRecorder()
 	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), machine.WithRecorder(rec))
 	spec.Program.Run(m, cfg)
 	metrics := m.Finish()
+	tr := rec.Trace()
+	runSpan.Set("events", len(tr.Events))
+	runSpan.End()
+	metrics.Publish(sess.Metrics, "benchmark", *bench, "run", "trace")
 
+	writeSpan := root.Child("write-trace")
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		root.End()
+		return err
 	}
-	tr := rec.Trace()
 	var writeErr error
 	if *text {
 		writeErr = tr.WriteText(f)
@@ -73,17 +100,25 @@ func main() {
 	}
 	if writeErr != nil {
 		f.Close()
-		fatal(writeErr)
+		root.End()
+		return writeErr
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		root.End()
+		return err
 	}
+	writeSpan.End()
+	root.End()
+
 	s := tr.Summarize()
+	if reg := sess.Metrics; reg != nil {
+		kv := []string{"benchmark", *bench}
+		reg.Counter("prefix_trace_events_total", kv...).Add(uint64(s.Events))
+		reg.Counter("prefix_trace_allocs_total", kv...).Add(s.Allocs)
+		reg.Counter("prefix_trace_accesses_total", kv...).Add(s.Accesses)
+		reg.Gauge("prefix_trace_sites", kv...).Set(float64(s.Sites))
+	}
 	fmt.Printf("%s: %d events (%d allocs over %d sites, %d accesses), %d instructions -> %s\n",
 		*bench, s.Events, s.Allocs, s.Sites, s.Accesses, metrics.Instr, *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "prefix-trace:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,296 @@
+// Package benchstore gives suite runs a durable, comparable record: each
+// run's per-benchmark headline metrics are snapshotted (with git/platform
+// metadata) into a BENCH_<timestamp>.json document, and any run can be
+// diffed against a recorded baseline — the bench suite's CI-enforceable
+// regression gate. The tracked metrics are the evaluation's headline
+// numbers: best-variant cycles, cache miss rates, baseline pollution,
+// PreFix capture precision, and peak memory.
+package benchstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"prefix/internal/pipeline"
+)
+
+// Schema is the document version; bump on incompatible field changes.
+const Schema = 1
+
+// Run is one recorded suite run.
+type Run struct {
+	Schema     int         `json:"schema"`
+	Timestamp  string      `json:"timestamp"` // RFC3339 UTC
+	GitSHA     string      `json:"git_sha,omitempty"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Jobs       int         `json:"jobs"`
+	Scale      string      `json:"scale"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's headline results within a run.
+type Benchmark struct {
+	Name           string  `json:"name"`
+	BaselineCycles float64 `json:"baseline_cycles"`
+	BestVariant    string  `json:"best_variant"`
+	BestCycles     float64 `json:"best_cycles"`
+	// TimeDeltaPct is the best variant's execution-time change vs the
+	// baseline (negative = reduction, Table 3 convention).
+	TimeDeltaPct float64 `json:"time_delta_pct"`
+	// L1MissPct/LLCMissPct are the best run's miss rates in percent.
+	L1MissPct  float64 `json:"l1_miss_pct"`
+	LLCMissPct float64 `json:"llc_miss_pct"`
+	// HDSSpurious/HALOSpurious are the baselines' polluting (non-hot)
+	// region placements (Table 4).
+	HDSSpurious  uint64 `json:"hds_spurious"`
+	HALOSpurious uint64 `json:"halo_spurious"`
+	// CapturePct is the best run's capture precision: the share of
+	// plan-matched allocations served from the preallocated region
+	// (mallocs avoided / (mallocs avoided + fallbacks)), in percent.
+	CapturePct float64 `json:"capture_pct"`
+	PeakBytes  uint64  `json:"peak_bytes"`
+}
+
+// Meta is the run-level metadata recorded alongside the results.
+type Meta struct {
+	Timestamp time.Time
+	GitSHA    string
+	Jobs      int
+	Scale     string
+}
+
+// FromComparisons snapshots a comparison suite into a Run. GOOS/GOARCH
+// are filled from the running binary.
+func FromComparisons(cmps []*pipeline.Comparison, meta Meta) *Run {
+	run := &Run{
+		Schema:    Schema,
+		Timestamp: meta.Timestamp.UTC().Format(time.RFC3339),
+		GitSHA:    meta.GitSHA,
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Jobs:      meta.Jobs,
+		Scale:     meta.Scale,
+	}
+	for _, c := range cmps {
+		best := c.BestResult()
+		b := Benchmark{
+			Name:           c.Benchmark,
+			BaselineCycles: c.Baseline.Metrics.Cycles,
+			BestVariant:    c.Best.String(),
+			BestCycles:     best.Metrics.Cycles,
+			TimeDeltaPct:   best.TimeDeltaPct(c.Baseline),
+			L1MissPct:      100 * best.Metrics.Cache.L1MissRate(),
+			LLCMissPct:     100 * best.Metrics.Cache.LLCMissRate(),
+			PeakBytes:      best.PeakBytes,
+		}
+		if p := c.HDS.Pollution; p != nil {
+			b.HDSSpurious = p.Spurious()
+		}
+		if p := c.HALO.Pollution; p != nil {
+			b.HALOSpurious = p.Spurious()
+		}
+		if cap := best.Capture; cap != nil {
+			if total := cap.MallocsAvoided + cap.FallbackMallocs; total > 0 {
+				b.CapturePct = 100 * float64(cap.MallocsAvoided) / float64(total)
+			}
+		}
+		run.Benchmarks = append(run.Benchmarks, b)
+	}
+	return run
+}
+
+// Filename renders the canonical snapshot name for a run started at t:
+// BENCH_20060102T150405Z.json.
+func Filename(t time.Time) string {
+	return "BENCH_" + t.UTC().Format("20060102T150405Z") + ".json"
+}
+
+// GitSHA returns the repository's short HEAD commit in dir, or "" when
+// git (or the repository) is unavailable — metadata, never an error.
+func GitSHA(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "--short=12", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// Write writes the run as indented JSON.
+func (r *Run) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the run to path.
+func (r *Run) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := r.Write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// Read parses a run document, rejecting unknown schema versions.
+func Read(rd io.Reader) (*Run, error) {
+	var run Run
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&run); err != nil {
+		return nil, fmt.Errorf("benchstore: %w", err)
+	}
+	if run.Schema != Schema {
+		return nil, fmt.Errorf("benchstore: unsupported schema %d (want %d)", run.Schema, Schema)
+	}
+	return &run, nil
+}
+
+// ReadFile reads a run document from path.
+func ReadFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// metric is one gated series: its name, direction, and accessor.
+type metric struct {
+	name        string
+	higherWorse bool // false: lower is worse (e.g. capture precision)
+	get         func(Benchmark) float64
+}
+
+// tracked is the regression-gated metric set.
+var tracked = []metric{
+	{"baseline_cycles", true, func(b Benchmark) float64 { return b.BaselineCycles }},
+	{"best_cycles", true, func(b Benchmark) float64 { return b.BestCycles }},
+	{"l1_miss_pct", true, func(b Benchmark) float64 { return b.L1MissPct }},
+	{"llc_miss_pct", true, func(b Benchmark) float64 { return b.LLCMissPct }},
+	{"hds_spurious", true, func(b Benchmark) float64 { return float64(b.HDSSpurious) }},
+	{"halo_spurious", true, func(b Benchmark) float64 { return float64(b.HALOSpurious) }},
+	{"capture_pct", false, func(b Benchmark) float64 { return b.CapturePct }},
+	{"peak_bytes", true, func(b Benchmark) float64 { return float64(b.PeakBytes) }},
+}
+
+// Regression is one tracked metric that degraded past the threshold, or
+// a benchmark that vanished from the run entirely.
+type Regression struct {
+	Benchmark string
+	Metric    string
+	Baseline  float64
+	Current   float64
+	// ChangePct is the degradation in percent (positive = worse;
+	// +Inf when the baseline value was 0 and the run's is not).
+	ChangePct float64
+	// Missing marks a benchmark recorded in the baseline but absent
+	// from the current run.
+	Missing bool
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: missing from run (present in baseline)", r.Benchmark)
+	}
+	change := fmt.Sprintf("%+.2f%%", r.ChangePct)
+	if math.IsInf(r.ChangePct, 1) {
+		change = "+inf%"
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%s)", r.Benchmark, r.Metric, r.Baseline, r.Current, change)
+}
+
+// Compare diffs current against baseline and returns every tracked
+// metric that degraded by more than regressPct percent, plus any
+// benchmark missing from the current run. Benchmarks new in the current
+// run are ignored (additions are not regressions). Results are ordered
+// by benchmark name, then tracked-metric order.
+func Compare(baseline, current *Run, regressPct float64) []Regression {
+	byName := make(map[string]Benchmark, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		byName[b.Name] = b
+	}
+	base := append([]Benchmark(nil), baseline.Benchmarks...)
+	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
+	var regs []Regression
+	for _, bb := range base {
+		cb, ok := byName[bb.Name]
+		if !ok {
+			regs = append(regs, Regression{Benchmark: bb.Name, Missing: true})
+			continue
+		}
+		for _, m := range tracked {
+			bv, cv := m.get(bb), m.get(cb)
+			change, worse := degradation(bv, cv, m.higherWorse)
+			if worse && change > regressPct {
+				regs = append(regs, Regression{
+					Benchmark: bb.Name, Metric: m.name,
+					Baseline: bv, Current: cv, ChangePct: change,
+				})
+			}
+		}
+	}
+	return regs
+}
+
+// degradation returns how much worse cur is than base, in percent of
+// base, and whether it moved in the worse direction at all. A zero base
+// with a worse cur is an infinite degradation (it always gates).
+func degradation(base, cur float64, higherWorse bool) (pct float64, worse bool) {
+	delta := cur - base
+	if !higherWorse {
+		delta = -delta
+	}
+	if delta <= 0 {
+		return 0, false
+	}
+	if base == 0 {
+		return math.Inf(1), true
+	}
+	return 100 * delta / math.Abs(base), true
+}
+
+// Gate prints the comparison verdict to w and returns a non-nil error
+// naming every offending benchmark and metric when any tracked metric
+// regressed past regressPct.
+func Gate(w io.Writer, baseline, current *Run, regressPct float64) error {
+	fmt.Fprintf(w, "regression gate: run vs baseline %s (git %s, %d benchmarks), threshold +%g%%\n",
+		baseline.Timestamp, orNone(baseline.GitSHA), len(baseline.Benchmarks), regressPct)
+	regs := Compare(baseline, current, regressPct)
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "  ok: no tracked metric regressed more than %g%%\n", regressPct)
+		return nil
+	}
+	names := make([]string, len(regs))
+	for i, r := range regs {
+		fmt.Fprintf(w, "  REGRESSED  %s\n", r)
+		if r.Missing {
+			names[i] = r.Benchmark + " (missing)"
+		} else {
+			names[i] = r.Benchmark + " " + r.Metric
+		}
+	}
+	return fmt.Errorf("benchstore: %d regression(s) past %g%%: %s",
+		len(regs), regressPct, strings.Join(names, ", "))
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,313 @@
+package benchstore
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"prefix/internal/baselines"
+	"prefix/internal/cachesim"
+	"prefix/internal/machine"
+	"prefix/internal/pipeline"
+	"prefix/internal/prefix"
+)
+
+func sampleRun() *Run {
+	return &Run{
+		Schema:    Schema,
+		Timestamp: "2026-08-05T12:00:00Z",
+		GitSHA:    "abc123def456",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Jobs:      8,
+		Scale:     "bench",
+		Benchmarks: []Benchmark{
+			{
+				Name: "mcf", BaselineCycles: 1000, BestVariant: "hds+hot",
+				BestCycles: 900, TimeDeltaPct: -10, L1MissPct: 5, LLCMissPct: 0.5,
+				HDSSpurious: 12, HALOSpurious: 3, CapturePct: 95, PeakBytes: 1 << 20,
+			},
+			{
+				Name: "health", BaselineCycles: 500, BestVariant: "hot",
+				BestCycles: 480, TimeDeltaPct: -4, L1MissPct: 2, LLCMissPct: 0.1,
+				CapturePct: 80, PeakBytes: 1 << 18,
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	run := sampleRun()
+	var buf bytes.Buffer
+	if err := run.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run, got) {
+		t.Errorf("round trip mismatch:\n  wrote %+v\n  read  %+v", run, got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	run := sampleRun()
+	if err := run.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run, got) {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestReadRejectsSchema(t *testing.T) {
+	in := strings.NewReader(`{"schema": 99, "benchmarks": []}`)
+	if _, err := Read(in); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("Read(schema 99) = %v, want unsupported-schema error", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("Read(garbage) = nil, want error")
+	}
+}
+
+func TestFilename(t *testing.T) {
+	at := time.Date(2026, 8, 5, 14, 30, 9, 0, time.FixedZone("x", 3600))
+	if got, want := Filename(at), "BENCH_20260805T133009Z.json"; got != want {
+		t.Errorf("Filename = %q, want %q (UTC-normalized)", got, want)
+	}
+}
+
+func TestGitSHA(t *testing.T) {
+	// The repo root is two levels up; a real git checkout yields a SHA.
+	if sha := GitSHA("../.."); sha == "" {
+		t.Skip("not a git checkout")
+	} else if len(sha) != 12 {
+		t.Errorf("GitSHA = %q, want 12 hex chars", sha)
+	}
+	if sha := GitSHA(t.TempDir()); sha != "" {
+		t.Errorf("GitSHA(non-repo) = %q, want empty", sha)
+	}
+}
+
+func TestFromComparisons(t *testing.T) {
+	cmp := &pipeline.Comparison{
+		Benchmark: "mcf",
+		Baseline:  result(1000, 100, 5, 1, 0),
+		HDS:       withPollution(result(980, 100, 5, 1, 0), 50, 30),
+		HALO:      withPollution(result(970, 100, 5, 1, 0), 40, 36),
+		PreFix: map[prefix.Variant]pipeline.RunResult{
+			prefix.VariantHDSHot: withCapture(result(900, 100, 4, 1, 1<<20), 90, 10),
+		},
+		Best: prefix.VariantHDSHot,
+	}
+	meta := Meta{
+		Timestamp: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		GitSHA:    "deadbeef0000",
+		Jobs:      4,
+		Scale:     "bench",
+	}
+	run := FromComparisons([]*pipeline.Comparison{cmp}, meta)
+	if run.Schema != Schema || run.Timestamp != "2026-08-05T12:00:00Z" ||
+		run.GitSHA != "deadbeef0000" || run.Jobs != 4 || run.Scale != "bench" {
+		t.Errorf("run metadata = %+v", run)
+	}
+	if len(run.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %d, want 1", len(run.Benchmarks))
+	}
+	b := run.Benchmarks[0]
+	if b.Name != "mcf" || b.BaselineCycles != 1000 || b.BestVariant != "prefix:hds+hot" || b.BestCycles != 900 {
+		t.Errorf("headline fields = %+v", b)
+	}
+	if b.TimeDeltaPct != -10 {
+		t.Errorf("TimeDeltaPct = %v, want -10", b.TimeDeltaPct)
+	}
+	if b.L1MissPct != 4 || b.LLCMissPct != 1 {
+		t.Errorf("miss rates = %v/%v, want 4/1", b.L1MissPct, b.LLCMissPct)
+	}
+	if b.HDSSpurious != 20 || b.HALOSpurious != 4 {
+		t.Errorf("spurious = %d/%d, want 20/4", b.HDSSpurious, b.HALOSpurious)
+	}
+	if b.CapturePct != 90 {
+		t.Errorf("CapturePct = %v, want 90", b.CapturePct)
+	}
+	if b.PeakBytes != 1<<20 {
+		t.Errorf("PeakBytes = %d, want %d", b.PeakBytes, 1<<20)
+	}
+}
+
+// result fabricates a RunResult with the given cycles, accesses, and
+// L1/LLC miss counts.
+func result(cycles float64, accesses, l1, llc, peak uint64) pipeline.RunResult {
+	return pipeline.RunResult{
+		Metrics: machine.Metrics{
+			Cycles: cycles,
+			Cache:  cachesim.Counts{Accesses: accesses, L1Misses: l1, LLCMisses: llc},
+		},
+		PeakBytes: peak,
+	}
+}
+
+func withPollution(r pipeline.RunResult, all, hot uint64) pipeline.RunResult {
+	r.Pollution = &baselines.Pollution{All: all, Hot: hot}
+	return r
+}
+
+func withCapture(r pipeline.RunResult, avoided, fallback uint64) pipeline.RunResult {
+	r.Capture = &prefix.Capture{MallocsAvoided: avoided, FallbackMallocs: fallback}
+	return r
+}
+
+func TestCompare(t *testing.T) {
+	base := sampleRun()
+	cases := []struct {
+		name   string
+		mutate func(*Run)
+		pct    float64
+		want   []string // "benchmark metric" per expected regression, in order
+	}{
+		{"identical", func(r *Run) {}, 5, nil},
+		{
+			"cycles regress past threshold",
+			func(r *Run) { r.Benchmarks[0].BestCycles = 1000 }, // +11.1%
+			5,
+			[]string{"mcf best_cycles"},
+		},
+		{
+			"cycles regress under threshold",
+			func(r *Run) { r.Benchmarks[0].BestCycles = 930 }, // +3.3%
+			5,
+			nil,
+		},
+		{
+			"improvement never gates",
+			func(r *Run) {
+				r.Benchmarks[0].BestCycles = 1
+				r.Benchmarks[0].CapturePct = 99.9
+			},
+			0,
+			nil,
+		},
+		{
+			"capture precision drop (lower is worse)",
+			func(r *Run) { r.Benchmarks[0].CapturePct = 50 }, // -47%
+			5,
+			[]string{"mcf capture_pct"},
+		},
+		{
+			"zero baseline to nonzero is infinite",
+			func(r *Run) { r.Benchmarks[1].HDSSpurious = 1 }, // health: 0 -> 1
+			1000,
+			[]string{"health hds_spurious"},
+		},
+		{
+			"missing benchmark",
+			func(r *Run) { r.Benchmarks = r.Benchmarks[:1] }, // drop health
+			5,
+			[]string{"health (missing)"},
+		},
+		{
+			"added benchmark ignored",
+			func(r *Run) {
+				r.Benchmarks = append(r.Benchmarks, Benchmark{Name: "new", BestCycles: 1e9})
+			},
+			5,
+			nil,
+		},
+		{
+			"multiple regressions ordered by benchmark then metric",
+			func(r *Run) {
+				r.Benchmarks[0].BaselineCycles = 2000
+				r.Benchmarks[0].PeakBytes = 1 << 30
+				r.Benchmarks[1].L1MissPct = 50
+			},
+			5,
+			[]string{"health l1_miss_pct", "mcf baseline_cycles", "mcf peak_bytes"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cur := sampleRun()
+			c.mutate(cur)
+			regs := Compare(base, cur, c.pct)
+			var got []string
+			for _, r := range regs {
+				if r.Missing {
+					got = append(got, r.Benchmark+" (missing)")
+				} else {
+					got = append(got, r.Benchmark+" "+r.Metric)
+				}
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("Compare = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	cases := []struct {
+		base, cur   float64
+		higherWorse bool
+		wantPct     float64
+		wantWorse   bool
+	}{
+		{100, 110, true, 10, true},
+		{100, 90, true, 0, false},
+		{100, 90, false, 10, true},
+		{100, 110, false, 0, false},
+		{0, 5, true, math.Inf(1), true},
+		{0, 0, true, 0, false},
+	}
+	for _, c := range cases {
+		pct, worse := degradation(c.base, c.cur, c.higherWorse)
+		if pct != c.wantPct || worse != c.wantWorse {
+			t.Errorf("degradation(%v, %v, %v) = %v, %v; want %v, %v",
+				c.base, c.cur, c.higherWorse, pct, worse, c.wantPct, c.wantWorse)
+		}
+	}
+}
+
+// TestGateRegressed is the acceptance check: a doctored regressed run
+// must fail the gate with an error naming the benchmark and metric.
+func TestGateRegressed(t *testing.T) {
+	base := sampleRun()
+	cur := sampleRun()
+	cur.Benchmarks[0].BestCycles = 2000 // mcf +122%
+	var out bytes.Buffer
+	err := Gate(&out, base, cur, 5)
+	if err == nil {
+		t.Fatal("Gate = nil, want regression error")
+	}
+	for _, want := range []string{"mcf", "best_cycles"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error %q does not name %q", err, want)
+		}
+	}
+	if !strings.Contains(out.String(), "REGRESSED") ||
+		!strings.Contains(out.String(), "mcf: best_cycles 900 -> 2000") {
+		t.Errorf("gate output missing verdict line:\n%s", out.String())
+	}
+}
+
+func TestGateClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := Gate(&out, sampleRun(), sampleRun(), 5); err != nil {
+		t.Fatalf("Gate(identical) = %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "ok: no tracked metric regressed") {
+		t.Errorf("clean gate output missing ok line:\n%s", out.String())
+	}
+}

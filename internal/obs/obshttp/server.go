@@ -1,0 +1,128 @@
+// Package obshttp serves the live observability surface of a running
+// evaluation process over HTTP — the always-on window into a suite run
+// that the paper's long multi-benchmark sweeps otherwise lack:
+//
+//	/metrics        Prometheus text exposition of the obs.Registry
+//	/healthz        liveness (status, uptime, goroutines)
+//	/status         JSON view of the parallel harness's job states
+//	/trace          Chrome trace-event JSON of the live span tree
+//	/debug/pprof/*  the Go runtime profiles of the harness process
+//
+// The server is read-only and snapshot-based: every request renders the
+// current state of the race-safe Registry/Tracer/JobTracker, so scraping
+// mid-run is always safe and never perturbs the simulation's results.
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"prefix/internal/obs"
+)
+
+// Config wires the observability sources into the handler. Any field may
+// be nil; the corresponding endpoint then serves an empty (but well-
+// formed) document.
+type Config struct {
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+	Tracker  *obs.JobTracker
+}
+
+// NewHandler returns the observability mux. Exposed separately from
+// Serve so tests can drive it through httptest.
+func NewHandler(cfg Config) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "prefix observability server\n\n"+
+			"/metrics        Prometheus text exposition\n"+
+			"/healthz        liveness\n"+
+			"/status         parallel-harness job states (JSON)\n"+
+			"/trace          Chrome trace-event JSON of the live span tree\n"+
+			"/debug/pprof/   Go runtime profiles\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(start).Seconds(),
+			"goroutines":     runtime.NumGoroutine(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// WritePrometheus snapshots the registry; nil renders empty.
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Open spans export with zero duration, so a mid-run scrape is
+		// still a loadable chrome://tracing document.
+		_ = cfg.Tracer.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, cfg.Tracker.Status())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability server on addr (":0" picks a free
+// port) and returns once it is listening; requests are handled on a
+// background goroutine until Shutdown.
+func Serve(addr string, cfg Config) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: %w", err)
+	}
+	s := &Server{lis: lis, srv: &http.Server{Handler: NewHandler(cfg)}}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the server's actual listen address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Shutdown stops the server, waiting up to a second for in-flight
+// scrapes to finish. Nil-safe.
+func (s *Server) Shutdown() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}

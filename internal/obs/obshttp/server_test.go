@@ -1,0 +1,297 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"prefix/internal/obs"
+	"prefix/internal/pipeline"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestIndex(t *testing.T) {
+	h := NewHandler(Config{})
+	res, body := get(t, h, "/")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET / = %d", res.StatusCode)
+	}
+	for _, want := range []string{"/metrics", "/healthz", "/status", "/trace", "/debug/pprof"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestIndexUnknownPath(t *testing.T) {
+	res, _ := get(t, NewHandler(Config{}), "/nope")
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", res.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	res, body := get(t, NewHandler(Config{}), "/healthz")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", res.StatusCode)
+	}
+	var doc struct {
+		Status     string  `json:"status"`
+		Uptime     float64 `json:"uptime_seconds"`
+		Goroutines int     `json:"goroutines"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	if doc.Status != "ok" || doc.Goroutines < 1 {
+		t.Errorf("healthz = %+v, want status ok and goroutines >= 1", doc)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("prefix_test_total", "benchmark", "mcf").Add(7)
+	res, body := get(t, NewHandler(Config{Registry: reg}), "/metrics")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	if !strings.Contains(body, "# TYPE prefix_test_total counter") ||
+		!strings.Contains(body, `prefix_test_total{benchmark="mcf"} 7`) {
+		t.Errorf("metrics exposition wrong:\n%s", body)
+	}
+}
+
+func TestMetricsNilRegistry(t *testing.T) {
+	res, body := get(t, NewHandler(Config{}), "/metrics")
+	if res.StatusCode != http.StatusOK || body != "" {
+		t.Errorf("nil-registry /metrics = %d %q, want 200 with empty body", res.StatusCode, body)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := obs.NewTracer()
+	span := tr.Start("phase-a")
+	span.Child("inner").End()
+	// span stays open: a mid-run scrape must still be valid JSON.
+	res, body := get(t, NewHandler(Config{Tracer: tr}), "/trace")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace = %d", res.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v\n%s", err, body)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Errorf("traceEvents = %d, want 2 (open root + closed child)", len(doc.TraceEvents))
+	}
+}
+
+func TestStatus(t *testing.T) {
+	jt := obs.NewJobTracker()
+	jt.Observe(obs.JobEvent{Phase: "suite", Benchmark: "mcf", Job: 0, Jobs: 3, Seed: -1, State: obs.JobRunning})
+	res, body := get(t, NewHandler(Config{Tracker: jt}), "/status")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /status = %d", res.StatusCode)
+	}
+	var st obs.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status is not JSON: %v\n%s", err, body)
+	}
+	if st.Total != 3 || st.Running != 1 || st.Queued != 2 {
+		t.Errorf("status = %+v, want total 3, running 1, queued 2", st)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	res, body := get(t, NewHandler(Config{}), "/debug/pprof/")
+	if res.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("GET /debug/pprof/ = %d, want profile index", res.StatusCode)
+	}
+}
+
+// TestStatusMidRun blocks a suite job inside the progress callback and
+// asserts /status reports it as running while the harness is live.
+func TestStatusMidRun(t *testing.T) {
+	jt := obs.NewJobTracker()
+	h := NewHandler(Config{Tracker: jt})
+
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	var once sync.Once
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = true
+	opt.Progress = func(ev obs.JobEvent) {
+		jt.Observe(ev)
+		if ev.Benchmark == "swissmap" && ev.State == obs.JobRunning {
+			once.Do(func() { close(blocked) })
+			<-release
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := pipeline.RunSuite([]string{"swissmap", "health"}, opt, 2)
+		done <- err
+	}()
+	<-blocked
+
+	_, body := get(t, h, "/status")
+	var st obs.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("mid-run status is not JSON: %v\n%s", err, body)
+	}
+	if st.Running < 1 {
+		t.Errorf("mid-run status running = %d, want >= 1:\n%s", st.Running, body)
+	}
+	found := false
+	for _, j := range st.Jobs {
+		if j.Benchmark == "swissmap" && j.State == obs.JobRunning {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mid-run status missing running swissmap job:\n%s", body)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, h, "/status")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 2 || st.Running != 0 {
+		t.Errorf("post-run status = done %d running %d, want 2/0", st.Done, st.Running)
+	}
+}
+
+// TestServeLiveSuite is the end-to-end check: a real server over a
+// jobs=8 suite run, scraped concurrently; `go test -race` doubles it as
+// the concurrent-scrape race test.
+func TestServeLiveSuite(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	jt := obs.NewJobTracker()
+	srv, err := Serve("127.0.0.1:0", Config{Registry: reg, Tracer: tr, Tracker: jt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+	base := "http://" + srv.Addr()
+
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = true
+	opt.Metrics = reg
+	opt.Tracer = tr
+	opt.Progress = func(ev obs.JobEvent) { jt.Observe(ev) }
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/status", "/trace", "/healthz"} {
+					res, err := http.Get(base + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, res.Body)
+					res.Body.Close()
+					if res.StatusCode != http.StatusOK {
+						t.Errorf("GET %s = %d mid-run", path, res.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	names := []string{"swissmap", "health", "ft", "libc"}
+	cmps, err := pipeline.RunSuite(names, opt, 8)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != len(names) {
+		t.Fatalf("comparisons = %d, want %d", len(cmps), len(names))
+	}
+
+	// After the run, every endpoint reflects the completed suite.
+	res, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(body), "prefix_run_cycles") {
+		t.Errorf("/metrics after run missing prefix_run_cycles series")
+	}
+	res, err = http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st obs.Status
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if st.Done != len(names) || st.Failed != 0 {
+		t.Errorf("final status = %+v, want %d done, 0 failed", st, len(names))
+	}
+	if st.ElapsedSeconds <= 0 {
+		t.Errorf("final status elapsed = %v, want > 0", st.ElapsedSeconds)
+	}
+}
+
+func TestServeShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("server has no address")
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Error("server still serving after Shutdown")
+	}
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(); err != nil {
+		t.Errorf("nil server Shutdown = %v", err)
+	}
+}

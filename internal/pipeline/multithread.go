@@ -5,6 +5,7 @@ import (
 
 	"prefix/internal/baselines"
 	"prefix/internal/machine"
+	"prefix/internal/obs"
 	"prefix/internal/prefix"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
@@ -75,43 +76,45 @@ func RunMultithreadedJobs(name string, threadCounts []int, opt Options, jobs int
 	out := make([]MTResult, len(threadCounts))
 	errs := runJobs(len(threadCounts), jobs, func(i int) error {
 		k := threadCounts[i]
-		opt.progress(fmt.Sprintf("%s threads=%d", name, k))
-		wcfg := base
-		wcfg.Threads = k
-		span := root.Child(fmt.Sprintf("eval threads=%d", k))
+		ev := obs.JobEvent{Phase: "multithreaded", Benchmark: name, Job: i, Jobs: len(threadCounts), Seed: -1, Threads: k}
+		return opt.instrumentJob(ev, func() error {
+			wcfg := base
+			wcfg.Threads = k
+			span := root.Child(fmt.Sprintf("eval threads=%d", k))
 
-		baseGroup := machine.NewGroup(baselines.NewBaseline(opt.Cache.Cost), opt.Cache, k, nil)
-		runGroup(mt, baseGroup, wcfg, k)
-		_, baseCycles, baseTotal := baseGroup.Finish()
+			baseGroup := machine.NewGroup(baselines.NewBaseline(opt.Cache.Cost), opt.Cache, k, nil)
+			runGroup(mt, baseGroup, wcfg, k)
+			_, baseCycles, baseTotal := baseGroup.Finish()
 
-		alloc := prefix.NewAllocator(plan, opt.Cache.Cost)
-		optGroup := machine.NewGroup(alloc, opt.Cache, k, nil)
-		runGroup(mt, optGroup, wcfg, k)
-		_, optCycles, optTotal := optGroup.Finish()
+			alloc := prefix.NewAllocator(plan, opt.Cache.Cost)
+			optGroup := machine.NewGroup(alloc, opt.Cache, k, nil)
+			runGroup(mt, optGroup, wcfg, k)
+			_, optCycles, optTotal := optGroup.Finish()
 
-		if reg := opt.Metrics; reg != nil {
-			threads := fmt.Sprint(k)
-			kv := func(run string) []string {
-				return append([]string{"benchmark", name, "run", run, "threads", threads}, opt.Labels...)
+			if reg := opt.Metrics; reg != nil {
+				threads := fmt.Sprint(k)
+				kv := func(run string) []string {
+					return append([]string{"benchmark", name, "run", run, "threads", threads}, opt.Labels...)
+				}
+				baseTotal.Publish(reg, kv("baseline")...)
+				optTotal.Publish(reg, kv("prefix")...)
+				alloc.Publish(reg, kv("prefix")...)
 			}
-			baseTotal.Publish(reg, kv("baseline")...)
-			optTotal.Publish(reg, kv("prefix")...)
-			alloc.Publish(reg, kv("prefix")...)
-		}
-		span.Set("threads", k)
-		span.End()
+			span.Set("threads", k)
+			span.End()
 
-		r := MTResult{
-			Threads:        k,
-			BaselineCycles: baseCycles,
-			PreFixCycles:   optCycles,
-			CallsAvoided:   alloc.Capture().CallsAvoided(),
-		}
-		if baseCycles > 0 {
-			r.ImprovementPct = 100 * (baseCycles - optCycles) / baseCycles
-		}
-		out[i] = r
-		return nil
+			r := MTResult{
+				Threads:        k,
+				BaselineCycles: baseCycles,
+				PreFixCycles:   optCycles,
+				CallsAvoided:   alloc.Capture().CallsAvoided(),
+			}
+			if baseCycles > 0 {
+				r.ImprovementPct = 100 * (baseCycles - optCycles) / baseCycles
+			}
+			out[i] = r
+			return nil
+		})
 	})
 	if err := joinErrors(errs, func(i int) string {
 		return fmt.Sprintf("%s threads=%d", name, threadCounts[i])

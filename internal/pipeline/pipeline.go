@@ -49,17 +49,38 @@ type Options struct {
 	// a "seed" label so all N seed runs survive in the export instead of
 	// overwriting one another.
 	Labels []string
-	// Progress, when non-nil, is called as each suite job starts (the
-	// CLIs print stderr progress lines through it). Suite runners invoke
+	// Progress, when non-nil, receives a structured obs.JobEvent as each
+	// suite job starts (running) and finishes (done or failed) — the CLIs
+	// print stderr progress lines through it and feed the observability
+	// server's /status tracker from the same stream. Suite runners invoke
 	// it from worker goroutines, so it must be safe for concurrent use.
-	Progress func(msg string)
+	Progress func(ev obs.JobEvent)
 }
 
 // progress invokes the Progress callback when one is set.
-func (o Options) progress(msg string) {
+func (o Options) progress(ev obs.JobEvent) {
 	if o.Progress != nil {
-		o.Progress(msg)
+		o.Progress(ev)
 	}
+}
+
+// instrumentJob brackets one job body with running/done/failed progress
+// events. Panics inside body are converted to errors (so the failed event
+// always fires) and propagated as errors, exactly as runJobs would have
+// reported them.
+func (o Options) instrumentJob(ev obs.JobEvent, body func() error) error {
+	ev.State = obs.JobRunning
+	ev.Err = ""
+	o.progress(ev)
+	err := runProtected(body)
+	if err != nil {
+		ev.State = obs.JobFailed
+		ev.Err = err.Error()
+	} else {
+		ev.State = obs.JobDone
+	}
+	o.progress(ev)
+	return err
 }
 
 // DefaultOptions returns the standard evaluation setup.

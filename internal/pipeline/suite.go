@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"prefix/internal/obs"
 )
 
 // DefaultJobs is the default worker count for suite runs: one worker per
@@ -43,7 +45,7 @@ func runJobs(n, jobs int, run func(i int) error) []error {
 				if i >= n {
 					return
 				}
-				errs[i] = runProtected(i, run)
+				errs[i] = runProtected(func() error { return run(i) })
 			}
 		}()
 	}
@@ -52,13 +54,13 @@ func runJobs(n, jobs int, run func(i int) error) []error {
 }
 
 // runProtected runs one job, converting a panic into an error.
-func runProtected(i int, run func(i int) error) (err error) {
+func runProtected(run func() error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return run(i)
+	return run()
 }
 
 // joinErrors aggregates per-job errors in job order, attaching each
@@ -85,13 +87,15 @@ func joinErrors(errs []error, name func(i int) string) error {
 func RunSuite(names []string, opt Options, jobs int) ([]*Comparison, error) {
 	cmps := make([]*Comparison, len(names))
 	errs := runJobs(len(names), jobs, func(i int) error {
-		opt.progress(names[i])
-		cmp, err := RunBenchmark(names[i], opt)
-		if err != nil {
-			return err
-		}
-		cmps[i] = cmp
-		return nil
+		ev := obs.JobEvent{Phase: "suite", Benchmark: names[i], Job: i, Jobs: len(names), Seed: -1}
+		return opt.instrumentJob(ev, func() error {
+			cmp, err := RunBenchmark(names[i], opt)
+			if err != nil {
+				return err
+			}
+			cmps[i] = cmp
+			return nil
+		})
 	})
 	if err := joinErrors(errs, func(i int) string { return names[i] }); err != nil {
 		return nil, err

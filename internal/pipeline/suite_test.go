@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -225,18 +226,81 @@ func TestRunMultithreadedJobsMatchesSerial(t *testing.T) {
 
 func TestProgressCallback(t *testing.T) {
 	opt := fastOpt()
-	var msgs []string
-	var mu = make(chan struct{}, 1)
-	mu <- struct{}{}
-	opt.Progress = func(msg string) {
-		<-mu
-		msgs = append(msgs, msg)
-		mu <- struct{}{}
+	var mu sync.Mutex
+	var events []obs.JobEvent
+	opt.Progress = func(ev obs.JobEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
 	}
-	if _, err := RunSuite([]string{"swissmap", "health"}, opt, 2); err != nil {
+	names := []string{"swissmap", "health"}
+	if _, err := RunSuite(names, opt, 2); err != nil {
 		t.Fatal(err)
 	}
-	if len(msgs) != 2 {
-		t.Errorf("progress calls = %d (%v), want 2", len(msgs), msgs)
+	if len(events) != 4 {
+		t.Fatalf("progress events = %d (%v), want 4 (running+done per job)", len(events), events)
+	}
+	perJob := map[int][]obs.JobEvent{}
+	for _, ev := range events {
+		if ev.Phase != "suite" {
+			t.Errorf("event phase = %q, want \"suite\"", ev.Phase)
+		}
+		if ev.Jobs != 2 || ev.Seed != -1 {
+			t.Errorf("event %+v: want Jobs=2, Seed=-1", ev)
+		}
+		if ev.Benchmark != names[ev.Job] {
+			t.Errorf("job %d carries benchmark %q, want %q", ev.Job, ev.Benchmark, names[ev.Job])
+		}
+		perJob[ev.Job] = append(perJob[ev.Job], ev)
+	}
+	for job, evs := range perJob {
+		if len(evs) != 2 || evs[0].State != obs.JobRunning || evs[1].State != obs.JobDone {
+			t.Errorf("job %d events = %+v, want running then done", job, evs)
+		}
+	}
+}
+
+// TestProgressCallbackFailure pins that a failing job emits a failed
+// event carrying the error text.
+func TestProgressCallbackFailure(t *testing.T) {
+	opt := fastOpt()
+	var mu sync.Mutex
+	var failed []obs.JobEvent
+	opt.Progress = func(ev obs.JobEvent) {
+		mu.Lock()
+		if ev.State == obs.JobFailed {
+			failed = append(failed, ev)
+		}
+		mu.Unlock()
+	}
+	if _, err := RunSuite([]string{"swissmap", "nope"}, opt, 2); err == nil {
+		t.Fatal("suite with unknown benchmark must fail")
+	}
+	if len(failed) != 1 || failed[0].Benchmark != "nope" || failed[0].Err == "" {
+		t.Errorf("failed events = %+v, want one for \"nope\" with error text", failed)
+	}
+}
+
+// TestVarianceProgressEvents pins the seed/job indices that make variance
+// sweep progress lines distinguishable.
+func TestVarianceProgressEvents(t *testing.T) {
+	opt := fastOpt()
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	opt.Progress = func(ev obs.JobEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Phase != "variance" || ev.Jobs != 2 || ev.Seeds != 2 {
+			t.Errorf("event %+v: want phase=variance, Jobs=2, Seeds=2", ev)
+		}
+		if ev.State == obs.JobRunning {
+			seen[ev.String()] = true
+		}
+	}
+	if _, err := RunVariance("swissmap", 2, opt); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Errorf("distinct running lines = %d (%v), want 2 — seed sweeps must be distinguishable", len(seen), seen)
 	}
 }

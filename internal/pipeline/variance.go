@@ -79,10 +79,7 @@ func RunSuiteVariance(names []string, runs int, opt Options, jobs int) ([]*Varia
 	// dependency — start in parallel instead of the whole pool blocking
 	// on one benchmark's profile.
 	nb := len(names)
-	errs := runJobs(nb*runs, jobs, func(j int) error {
-		bi, si := j%nb, j/nb
-		st := states[bi]
-		name := names[bi]
+	seedJob := func(st *benchState, name string, si int) error {
 		defer func() {
 			// The last seed to finish closes the benchmark's root span.
 			if st.pending.Add(-1) == 0 {
@@ -101,7 +98,6 @@ func RunSuiteVariance(names []string, runs int, opt Options, jobs int) ([]*Varia
 			}
 			return nil // already reported by the benchmark's seed-0 job
 		}
-		opt.progress(fmt.Sprintf("%s seed %d/%d", name, si+1, runs))
 		cfg := st.base
 		cfg.Seed = st.base.Seed + uint64(si)*1_000_003
 		runSpec := st.spec
@@ -122,6 +118,13 @@ func RunSuiteVariance(names []string, runs int, opt Options, jobs int) ([]*Varia
 		}
 		st.deltas[si] = cmp.BestResult().TimeDeltaPct(cmp.Baseline)
 		return nil
+	}
+	errs := runJobs(nb*runs, jobs, func(j int) error {
+		bi, si := j%nb, j/nb
+		ev := obs.JobEvent{Phase: "variance", Benchmark: names[bi], Job: j, Jobs: nb * runs, Seed: si, Seeds: runs}
+		return opt.instrumentJob(ev, func() error {
+			return seedJob(states[bi], names[bi], si)
+		})
 	})
 	if err := joinErrors(errs, func(j int) string { return names[j%nb] }); err != nil {
 		return nil, err
