@@ -4,9 +4,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-short race bench bench-smoke bench-baseline bench-gate clean
+# Shared flags for the regression-smoke invocations below: two
+# benchmarks at reduced scale through the worker pool.
+SMOKE_ARGS = -scale bench -jobs 4 -only table3 -bench mcf,health
 
-check: fmt vet build race
+.PHONY: check fmt vet lint build test test-short race bench bench-smoke bench-baseline bench-gate clean
+
+check: fmt vet lint build race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -16,6 +20,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants (determinism, span lifecycle, metric names);
+# see DESIGN.md "Static invariants" and internal/analysis.
+lint:
+	$(GO) run ./cmd/prefix-lint ./...
 
 build:
 	$(GO) build ./...
@@ -33,21 +42,20 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Fast end-to-end smoke of the parallel harness: two benchmarks at
-# reduced scale through the worker pool.
+# Fast end-to-end smoke of the parallel harness.
 bench-smoke:
-	$(GO) run ./cmd/prefix-bench -scale bench -jobs 4 -only table3 -bench mcf,health
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS)
 
 # Refresh the committed regression-gate baseline (same run as bench-gate).
 bench-baseline:
-	$(GO) run ./cmd/prefix-bench -scale bench -jobs 4 -only table3 -bench mcf,health \
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) \
 		-record-out testdata/bench-smoke-baseline.json > /dev/null
 
 # Regression gate: rerun the smoke suite and diff it against the
 # committed baseline. The threshold is generous because CI only needs to
 # catch breakage, not noise (the simulation itself is deterministic).
 bench-gate:
-	$(GO) run ./cmd/prefix-bench -scale bench -jobs 4 -only table3 -bench mcf,health \
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) \
 		-baseline testdata/bench-smoke-baseline.json -regress-pct 50
 
 clean:

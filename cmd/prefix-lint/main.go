@@ -1,0 +1,110 @@
+// Command prefix-lint runs the repo's static-analysis suite (see
+// internal/analysis): nodeterminism, mapiter, spanend, and metricname —
+// the mechanical enforcement of the invariants the evaluation rests on.
+//
+// Usage:
+//
+//	prefix-lint [-json] [-C dir] [packages...]
+//
+// Packages default to ./... and accept any `go list` pattern. The exit
+// status is 0 when the tree is clean, 1 when diagnostics were reported,
+// and 2 on a usage or load error.
+//
+// The binary also speaks the `go vet -vettool` unit protocol, so the
+// same analyzers run under plain go vet (editors, external CI):
+//
+//	go build -o bin/prefix-lint ./cmd/prefix-lint
+//	go vet -vettool=$(pwd)/bin/prefix-lint ./...
+//
+// Suppress a finding with a reasoned directive on the flagged line or
+// the line above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prefix/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// The go vet unit protocol calls the tool with exactly one special
+	// argument per invocation; recognize those before normal flags.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			return printVersion(stdout)
+		case args[0] == "-flags":
+			// No analyzer-selection flags: the whole suite always runs.
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVetUnit(args[0], stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet("prefix-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	dir := fs.String("C", "", "resolve package patterns from this directory")
+	listOnly := fs.Bool("analyzers", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: prefix-lint [-json] [-C dir] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listOnly {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.LoadPatterns(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "prefix-lint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "prefix-lint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "prefix-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(stderr, "prefix-lint: %d issue(s) in %d package(s)\n", n, len(pkgs))
+		return 1
+	}
+	return 0
+}

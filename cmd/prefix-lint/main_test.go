@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module on disk. Naming it
+// "prefix" puts its internal/ packages inside the deterministic scope,
+// so the nodeterminism analyzer fires on the seeded files exactly as it
+// would in the real tree.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	all := map[string]string{"go.mod": "module prefix\n\ngo 1.21\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const violatingSource = `package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+`
+
+const cleanSource = `package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func dump(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, m[k])
+	}
+}
+`
+
+func TestCLIReportsSeededViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/sim.go": violatingSource})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "time.Now") || !strings.Contains(out, "(nodeterminism)") {
+		t.Errorf("stdout missing the nodeterminism finding:\n%s", out)
+	}
+	if !strings.Contains(out, "io.Writer") || !strings.Contains(out, "(mapiter)") {
+		t.Errorf("stdout missing the mapiter finding:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "2 issue(s)") {
+		t.Errorf("stderr missing the diagnostic count: %q", stderr.String())
+	}
+}
+
+func TestCLICleanTreeExitsZero(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/sim.go": cleanSource})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/sim.go": violatingSource})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var diags []struct {
+		Analyzer string
+		File     string
+		Line     int
+		Message  string
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d JSON diagnostics, want 2: %+v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("diagnostic missing fields: %+v", d)
+		}
+	}
+}
+
+func TestCLIBadPatternExitsTwo(t *testing.T) {
+	dir := writeModule(t, nil)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./no/such/pkg"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+}
+
+func TestCLIAnalyzersFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"nodeterminism", "mapiter", "spanend", "metricname"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-analyzers output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestVettoolFlagsHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("-flags printed %q, want []", stdout.String())
+	}
+}
+
+func TestVettoolVersionHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stdout.String(), " version ") {
+		t.Errorf("-V=full printed %q, want a tool-version line", stdout.String())
+	}
+}
+
+// writeVetCfg emulates the .cfg file cmd/go hands a -vettool for one
+// compilation unit.
+func writeVetCfg(t *testing.T, modDir, pkgRel, importPath string, vetxOnly bool) (cfgPath, vetxPath string) {
+	t.Helper()
+	pkgDir := filepath.Join(modDir, pkgRel)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, filepath.Join(pkgDir, e.Name()))
+		}
+	}
+	vetxPath = filepath.Join(t.TempDir(), "unit.vetx")
+	cfg := vetConfig{
+		ID:         importPath,
+		Dir:        pkgDir,
+		ImportPath: importPath,
+		GoFiles:    goFiles,
+		VetxOnly:   vetxOnly,
+		VetxOutput: vetxPath,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath = filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetxPath
+}
+
+func TestVettoolUnitReportsViolations(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/sim.go": violatingSource})
+	cfgPath, vetxPath := writeVetCfg(t, dir, "internal/sim", "prefix/internal/sim", false)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{cfgPath}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "(nodeterminism)") || !strings.Contains(stderr.String(), "(mapiter)") {
+		t.Errorf("unit-mode stderr missing findings:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("VetxOutput facts file was not written: %v", err)
+	}
+}
+
+func TestVettoolUnitVetxOnly(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/sim.go": violatingSource})
+	cfgPath, vetxPath := writeVetCfg(t, dir, "internal/sim", "prefix/internal/sim", true)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{cfgPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("VetxOnly exit code = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Errorf("VetxOutput facts file was not written: %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prefix/internal/analysis"
+)
+
+// vetConfig is the subset of the JSON config the go command hands a
+// -vettool for each compilation unit (see cmd/go's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers `prefix-lint -V=full`, which the go command uses
+// as a cache key for vet results. Hashing the executable means a
+// rebuilt tool (new or changed analyzers) invalidates cached findings.
+func printVersion(stdout io.Writer) int {
+	name := "prefix-lint"
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(stdout, "%s version devel\n", name)
+		return 0
+	}
+	name = filepath.Base(exe)
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(stdout, "%s version devel\n", name)
+		return 0
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(stdout, "%s version devel\n", name)
+		return 0
+	}
+	fmt.Fprintf(stdout, "%s version devel buildID=%x\n", name, h.Sum(nil))
+	return 0
+}
+
+// runVetUnit analyzes one compilation unit described by a go vet .cfg
+// file. Exit codes follow the vettool convention: 0 clean, 1 findings,
+// 2 protocol or load error.
+func runVetUnit(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "prefix-lint: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "prefix-lint: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The go command requires the facts file to exist even though this
+	// suite exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "prefix-lint: writing %s: %v\n", cfg.VetxOutput, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Test variants arrive as "pkg [pkg.test]" or "pkg.test"; the suite
+	// deliberately skips test code (tests fake clocks and metric names),
+	// so only the production files of the base package are checked.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	if strings.HasSuffix(importPath, ".test") {
+		return 0
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, err := analysis.TypeCheckFiles(fset, imp, importPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "prefix-lint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "prefix-lint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSource type-checks one in-memory file as importPath and runs the
+// given analyzers over it.
+func checkSource(t *testing.T, importPath, src string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "src.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, err := typeCheck(fset, imp, importPath, []string{path})
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return RunAnalyzers([]*Package{pkg}, analyzers)
+}
+
+func TestSuppressionSameLineAndLineAbove(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func sameLine() time.Time {
+	return time.Now() //lint:ignore nodeterminism reason on the same line
+}
+
+func lineAbove() time.Time {
+	//lint:ignore nodeterminism reason on the line above
+	return time.Now()
+}
+
+func unsuppressed() time.Time {
+	return time.Now()
+}
+`
+	diags, err := checkSource(t, "prefix/internal/fake", src, []*Analyzer{Nodeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only the unsuppressed one): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 15 {
+		t.Errorf("diagnostic at line %d, want 15", diags[0].Pos.Line)
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotApply(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func f() time.Time {
+	//lint:ignore mapiter wrong analyzer name
+	return time.Now()
+}
+`
+	diags, err := checkSource(t, "prefix/internal/fake", src, []*Analyzer{Nodeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestSuppressionAnalyzerList(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func f() time.Time {
+	//lint:ignore nodeterminism,mapiter covers both analyzers
+	return time.Now()
+}
+`
+	diags, err := checkSource(t, "prefix/internal/fake", src, []*Analyzer{Nodeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	src := `package p
+
+//lint:ignore nodeterminism
+func f() {}
+`
+	diags, err := checkSource(t, "prefix/internal/fake", src, []*Analyzer{Nodeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "malformed") {
+		t.Fatalf("want one malformed-directive diagnostic, got %v", diags)
+	}
+	if diags[0].Analyzer != "lint" {
+		t.Errorf("malformed directive reported by %q, want \"lint\"", diags[0].Analyzer)
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	src := `package p
+
+import (
+	"os"
+	"time"
+)
+
+func b() time.Time { return time.Now() }
+
+func a() string { return os.Getenv("X") }
+`
+	diags, err := checkSource(t, "prefix/internal/fake", src, []*Analyzer{Nodeterminism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line >= diags[1].Pos.Line {
+		t.Errorf("diagnostics not sorted by line: %v", diags)
+	}
+}
+
+func TestInspectWithStack(t *testing.T) {
+	src := `package p
+
+func f() {
+	for i := 0; i < 3; i++ {
+		_ = i
+	}
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLoopUnderFunc bool
+	InspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.ForStmt); ok {
+			for _, s := range stack {
+				if _, ok := s.(*ast.FuncDecl); ok {
+					sawLoopUnderFunc = true
+				}
+			}
+			// The immediate parent must be the function body block.
+			if len(stack) == 0 {
+				t.Fatal("for statement has empty stack")
+			}
+			if _, ok := stack[len(stack)-1].(*ast.BlockStmt); !ok {
+				t.Errorf("for statement's parent is %T, want *ast.BlockStmt", stack[len(stack)-1])
+			}
+		}
+		return true
+	})
+	if !sawLoopUnderFunc {
+		t.Error("never saw the for loop with a FuncDecl ancestor")
+	}
+}
+
+func TestLoadPatternsLoadsThisModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package loading shells out to go list and type-checks from source")
+	}
+	pkgs, err := LoadPatterns("", []string{"prefix/internal/xrand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "prefix/internal/xrand" {
+		t.Fatalf("LoadPatterns = %+v, want exactly prefix/internal/xrand", pkgs)
+	}
+	if pkgs[0].Types == nil || len(pkgs[0].Files) == 0 {
+		t.Fatal("loaded package missing type info or files")
+	}
+	var _ types.Object // keep go/types imported for the assertion below
+	if pkgs[0].Types.Scope().Lookup("New") == nil {
+		t.Error("xrand.New not found in loaded package scope")
+	}
+}

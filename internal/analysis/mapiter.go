@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags `for range` loops over maps whose iteration order can
+// leak into output: a body that writes to an io.Writer, or that appends
+// to a slice declared outside the loop which is never subsequently
+// sorted. Go randomizes map iteration order, so either pattern makes
+// report and export bytes differ run to run — the exact bug class the
+// parallel harness had to fix by hand to keep -jobs N output identical.
+//
+// The sanctioned pattern — collect the keys, sort them, iterate the
+// sorted slice — is recognized: an append-collect loop is accepted when
+// the slice is later passed to a sort or slices call in the same block.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag map iteration whose order reaches an io.Writer or an " +
+		"unsorted outer slice (nondeterministic output)",
+	Run: runMapiter,
+}
+
+// ioWriter is a structurally-equal stand-in for io.Writer, so the check
+// needs no dependency on the real io package's type object.
+var ioWriter = func() *types.Interface {
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		),
+		false)
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, ioWriter)
+}
+
+// receiverWrites reports whether a method call on recv can write to it:
+// the type (or its pointer, which a method call takes implicitly)
+// satisfies io.Writer.
+func receiverWrites(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ioWriter) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			return types.Implements(types.NewPointer(t), ioWriter)
+		}
+	}
+	return false
+}
+
+func runMapiter(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		InspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange inspects one map-range body for order-leaking sinks.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	info := pass.TypesInfo
+
+	// Sink 1: anything written to an io.Writer inside the body — the
+	// write order is the (random) map order.
+	reportedWriter := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reportedWriter {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if implementsWriter(info.Types[arg].Type) {
+				pass.Reportf(rng.Pos(), "map iteration order reaches an io.Writer; iterate sorted keys instead")
+				reportedWriter = true
+				return false
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if strings.HasPrefix(sel.Sel.Name, "Write") && receiverWrites(info.Types[sel.X].Type) {
+				pass.Reportf(rng.Pos(), "map iteration order reaches an io.Writer via %s; iterate sorted keys instead", sel.Sel.Name)
+				reportedWriter = true
+				return false
+			}
+		}
+		return true
+	})
+	if reportedWriter {
+		return
+	}
+
+	// Sink 2: appends to a slice declared outside the loop. Accepted when
+	// the collected slice is sorted after the loop (the canonical
+	// collect-then-sort fix); reported otherwise, because the slice's
+	// element order is the map order.
+	appended := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range asg.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				continue
+			}
+			if bi, ok := info.Uses[fn].(*types.Builtin); !ok || bi.Name() != "append" {
+				continue
+			}
+			base, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Uses[base]
+			if obj == nil || obj.Pos() == token.NoPos {
+				continue
+			}
+			if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+				appended[obj] = true
+			}
+		}
+		return true
+	})
+	if len(appended) == 0 {
+		return
+	}
+	for obj := range appended {
+		if !sortedAfter(pass, rng, stack, obj) {
+			pass.Reportf(rng.Pos(),
+				"map iteration appends to %q, which escapes unsorted; sort it after the loop or iterate sorted keys",
+				obj.Name())
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed into a sort or slices call
+// in a statement after rng, in rng's enclosing block or any enclosing
+// block out to the function boundary — collecting inside a nested loop
+// and sorting after the outer loop is still the sanctioned pattern.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	inner := ast.Node(rng)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch outer := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			if sortedInBlockAfter(pass, outer, inner, obj) {
+				return true
+			}
+		}
+		inner = stack[i]
+	}
+	return false
+}
+
+// sortedInBlockAfter scans block statements after the one containing
+// inner for a sort/slices call that references obj.
+func sortedInBlockAfter(pass *Pass, block *ast.BlockStmt, inner ast.Node, obj types.Object) bool {
+	after := false
+	for _, stmt := range block.List {
+		if stmt.Pos() <= inner.Pos() && inner.End() <= stmt.End() {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

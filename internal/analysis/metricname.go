@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Metricname enforces the obs metric naming contract established when
+// the registry was introduced: series names are compile-time constants
+// in snake_case under a sanctioned namespace (prefix_, pipeline_,
+// analysis_), counters carry the Prometheus _total suffix, and
+// instruments are not looked up redundantly inside loops (the
+// name+labels map lookup is cheap but not free, and the hot simulation
+// loops must not pay it per iteration).
+//
+// A lookup inside a loop is fine when its arguments depend on the loop
+// (a per-benchmark or per-variant label set selects a different series
+// each iteration); a loop-invariant lookup should be hoisted.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc: "enforce snake_case namespaced obs metric names, _total counter " +
+		"suffix, and no loop-invariant instrument lookups inside loops",
+	Run: runMetricname,
+}
+
+// metricNameRE: sanctioned namespace, then snake_case words.
+var metricNameRE = regexp.MustCompile(`^(prefix|pipeline|analysis)_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// isRegistryMethod reports whether call is obs.Registry.Counter/Gauge/
+// Histogram and returns the method name.
+func isRegistryMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Counter" && name != "Gauge" && name != "Histogram" {
+		return "", false
+	}
+	recv := info.Types[sel.X].Type
+	if recv == nil {
+		return "", false
+	}
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil || obj.Pkg().Path() != obsPkgPath {
+		return "", false
+	}
+	return name, true
+}
+
+func runMetricname(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		InspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := isRegistryMethod(info, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricCall(pass, call, method, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMetricCall(pass *Pass, call *ast.CallExpr, method string, stack []ast.Node) {
+	nameArg := call.Args[0]
+	tv := pass.TypesInfo.Types[nameArg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(nameArg.Pos(),
+			"metric name must be a compile-time constant so the series inventory is auditable")
+	} else {
+		name := constant.StringVal(tv.Value)
+		switch {
+		case !metricNameRE.MatchString(name):
+			pass.Reportf(nameArg.Pos(),
+				"metric name %q must be snake_case under a prefix_/pipeline_/analysis_ namespace", name)
+		case method == "Counter" && !strings.HasSuffix(name, "_total"):
+			pass.Reportf(nameArg.Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+		case method != "Counter" && strings.HasSuffix(name, "_total"):
+			pass.Reportf(nameArg.Pos(), "%s %q must not end in _total; that suffix is reserved for counters",
+				strings.ToLower(method), name)
+		}
+	}
+
+	// Loop-invariant lookup inside a loop: every argument resolves to
+	// objects declared outside the innermost enclosing loop, so the call
+	// returns the same instrument each iteration — hoist it.
+	loop := enclosingLoop(stack)
+	if loop == nil {
+		return
+	}
+	for _, arg := range call.Args {
+		if dependsOnRange(pass.TypesInfo, arg, loop) {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"loop-invariant %s lookup inside a loop; hoist the instrument out of the loop", method)
+}
+
+// enclosingLoop returns the innermost for/range statement enclosing the
+// node whose ancestor stack is given, without crossing a function
+// boundary.
+func enclosingLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil
+		}
+	}
+	return nil
+}
+
+// dependsOnRange reports whether expr references any object declared
+// within loop (the loop variables or anything created in its body).
+func dependsOnRange(info *types.Info, expr ast.Expr, loop ast.Node) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil || !obj.Pos().IsValid() {
+			return true
+		}
+		if obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Nodeterminism forbids non-deterministic inputs in the simulation,
+// report, and observability packages: traces and reports must be
+// byte-for-byte reproducible, so wall clocks must flow through an
+// injected `func() time.Time`, randomness through internal/xrand, and
+// configuration through explicit options rather than the environment or
+// the host's CPU count.
+var Nodeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid math/rand, bare time.Now/time.Since, os.Getenv, and " +
+		"runtime.NumCPU/GOMAXPROCS in result-affecting packages",
+	Run: runNodeterminism,
+}
+
+// nondeterministicImports maps forbidden import paths to the sanctioned
+// alternative named in the diagnostic.
+var nondeterministicImports = map[string]string{
+	"math/rand":    "use prefix/internal/xrand: its stream is part of the repro contract, math/rand's is not",
+	"math/rand/v2": "use prefix/internal/xrand: its stream is part of the repro contract, math/rand/v2's is not",
+}
+
+// nondeterministicFuncs maps forbidden package-level functions
+// (qualified by package path) to the sanctioned alternative.
+var nondeterministicFuncs = map[string]string{
+	"time.Now":           "inject a clock (func() time.Time) so runs and tests are reproducible",
+	"time.Since":         "derive durations from an injected clock so runs and tests are reproducible",
+	"os.Getenv":          "thread configuration through explicit options, not the environment",
+	"os.LookupEnv":       "thread configuration through explicit options, not the environment",
+	"os.Environ":         "thread configuration through explicit options, not the environment",
+	"runtime.NumCPU":     "parallelism must be an explicit option; results may never depend on the host",
+	"runtime.GOMAXPROCS": "parallelism must be an explicit option; results may never depend on the host",
+}
+
+// inDeterministicScope reports whether the package's import path is one
+// the determinism contract covers: the root package and everything under
+// prefix/internal (simulation, planning, report, and obs layers). The
+// cmd and examples trees are excluded — they legitimately timestamp
+// output files and wire wall-clock sessions.
+func inDeterministicScope(path string) bool {
+	return path == "prefix" || strings.HasPrefix(path, "prefix/internal/")
+}
+
+func runNodeterminism(pass *Pass) error {
+	if !inDeterministicScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := nondeterministicImports[path]; ok {
+				pass.Reportf(imp.Pos(), "non-deterministic import %q: %s", path, why)
+			}
+		}
+	}
+	// Uses covers both calls (time.Now()) and value references
+	// (now: time.Now), which is exactly the injected-clock default case.
+	for id, obj := range pass.TypesInfo.Uses {
+		pkg := obj.Pkg()
+		if pkg == nil {
+			continue
+		}
+		if _, isFunc := obj.(*types.Func); !isFunc {
+			continue
+		}
+		qualified := pkg.Path() + "." + obj.Name()
+		if why, ok := nondeterministicFuncs[qualified]; ok {
+			pass.Reportf(id.Pos(), "non-deterministic %s: %s", qualified, why)
+		}
+	}
+	return nil
+}

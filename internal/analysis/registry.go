@@ -1,0 +1,24 @@
+package analysis
+
+// All returns the full prefix-lint analyzer suite in reporting order.
+// Every analyzer must be registered here: the goldens in testdata look
+// their analyzer up by name through this registry, so dropping a
+// registration fails that analyzer's test, not just the CLI.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Nodeterminism,
+		Mapiter,
+		Spanend,
+		Metricname,
+	}
+}
+
+// Lookup returns the registered analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package cleanscope exercises the same constructs as the in-scope
+// nodeterminism golden but lives OUTSIDE prefix/internal, so the
+// analyzer must stay silent: command-line and example code may read the
+// wall clock and the environment.
+package cleanscope
+
+import (
+	"os"
+	"runtime"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func since(t0 time.Time) time.Duration { return time.Since(t0) }
+
+func env() string { return os.Getenv("PREFIX_DEBUG") }
+
+func hostCPUs() int { return runtime.NumCPU() }
+
+var _ = now
+var _ = since
+var _ = env
+var _ = hostCPUs

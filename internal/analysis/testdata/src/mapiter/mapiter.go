@@ -1,0 +1,108 @@
+// Package mapiter is the mapiter golden: map iteration order must never
+// reach an io.Writer or escape in an unsorted slice.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// export writes rows in map order — the classic nondeterministic-report
+// bug.
+func export(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches an io\.Writer`
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// buildString leaks map order through a strings.Builder's Write methods.
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration order reaches an io\.Writer`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// collectUnsorted returns keys in map order.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `escapes unsorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSorted is the sanctioned fix: collect, then sort before the
+// slice escapes.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSlice also counts: sort.Slice on the collected values.
+func sortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// nestedCollect appends inside a map range nested in an outer loop and
+// sorts after the outer loop; the analyzer must look past the inner
+// enclosing block to see the sort.
+func nestedCollect(ms []map[string]int) []string {
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// nestedUnsorted is the same shape with no sort anywhere; still flagged.
+func nestedUnsorted(ms []map[string]int) []string {
+	var keys []string
+	for _, m := range ms {
+		for k := range m { // want `escapes unsorted`
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// aggregate only folds values; order cannot leak.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// copyMap feeds another map; insertion order is invisible.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// exportVetted demonstrates the accepted suppression.
+func exportVetted(w io.Writer, m map[string]int) {
+	//lint:ignore mapiter demo: the caller deduplicates and sorts the merged output
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,67 @@
+// Package metricname is the metricname golden: obs series names are
+// constant, snake_case, namespaced, counters end in _total, and
+// loop-invariant instrument lookups are hoisted out of loops.
+package metricname
+
+import "prefix/internal/obs"
+
+// good covers every sanctioned namespace and instrument kind.
+func good(reg *obs.Registry) {
+	reg.Counter("prefix_jobs_completed_total").Inc()
+	reg.Gauge("pipeline_queue_depth").Set(1)
+	reg.Histogram("analysis_pass_seconds", obs.TimeBuckets).Observe(0.1)
+}
+
+// badNamespace is outside prefix_/pipeline_/analysis_.
+func badNamespace(reg *obs.Registry) {
+	reg.Counter("jobs_done_total").Inc() // want `namespace`
+}
+
+// badCase is not snake_case.
+func badCase(reg *obs.Registry) {
+	reg.Gauge("prefix_queueDepth").Set(1) // want `snake_case`
+}
+
+// badCounterSuffix lacks _total.
+func badCounterSuffix(reg *obs.Registry) {
+	reg.Counter("prefix_jobs_done").Inc() // want `must end in _total`
+}
+
+// badGaugeSuffix misuses the counter suffix.
+func badGaugeSuffix(reg *obs.Registry) {
+	reg.Gauge("prefix_live_bytes_total").Set(1) // want `reserved for counters`
+}
+
+// dynamic builds the name at run time.
+func dynamic(reg *obs.Registry, name string) {
+	reg.Counter(name).Inc() // want `compile-time constant`
+}
+
+// hotLoop looks the same series up every iteration.
+func hotLoop(reg *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		reg.Counter("prefix_iterations_total").Inc() // want `loop-invariant Counter lookup`
+	}
+}
+
+// perLabelLoop selects a different series per iteration via the loop
+// variable, which is the sanctioned per-benchmark/per-variant pattern.
+func perLabelLoop(reg *obs.Registry, names []string) {
+	for _, b := range names {
+		reg.Counter("prefix_runs_total", "benchmark", b).Inc()
+	}
+}
+
+// hoisted is the fix for hotLoop.
+func hoisted(reg *obs.Registry, n int) {
+	c := reg.Counter("prefix_iterations_total")
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+}
+
+// legacy demonstrates the accepted suppression.
+func legacy(reg *obs.Registry) {
+	//lint:ignore metricname demo: legacy series name kept for dashboard compatibility
+	reg.Counter("legacy_total").Inc()
+}

@@ -1,0 +1,68 @@
+// Package machine is the nodeterminism golden. Its import path places
+// it inside the deterministic scope (prefix/internal/...), so every
+// wall-clock, environment, randomness, and host-CPU access below must
+// be flagged unless suppressed.
+package machine
+
+import (
+	"math/rand" // want `non-deterministic import "math/rand"`
+	"os"
+	"runtime"
+	"time"
+)
+
+// now reads the wall clock directly instead of an injected clock.
+func now() time.Time {
+	return time.Now() // want `non-deterministic time\.Now`
+}
+
+// since derives a duration from the wall clock.
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `non-deterministic time\.Since`
+}
+
+// seed consumes the forbidden generator (the import line carries the
+// diagnostic; uses of the package need no further report).
+func seed() int {
+	return rand.Int()
+}
+
+// env reads configuration from the environment.
+func env() string {
+	return os.Getenv("PREFIX_DEBUG") // want `non-deterministic os\.Getenv`
+}
+
+// hostCPUs sizes work by the host.
+func hostCPUs() int {
+	return runtime.NumCPU() // want `non-deterministic runtime\.NumCPU`
+}
+
+// defaultJobs demonstrates the accepted suppression: a concurrency
+// default that can never change results.
+func defaultJobs() int {
+	//lint:ignore nodeterminism concurrency default only; results are order-indexed and jobs-independent
+	return runtime.GOMAXPROCS(0)
+}
+
+// clock is the sanctioned injected-clock pattern: the one wall-clock
+// default is suppressed with a reason, everything else flows through
+// the injected func.
+type clock struct {
+	now func() time.Time
+}
+
+func newClock() *clock {
+	//lint:ignore nodeterminism the injected clock needs exactly one wall-clock default
+	return &clock{now: time.Now}
+}
+
+func (c *clock) stamp() time.Time { return c.now() }
+
+var _ = now
+var _ = since
+var _ = seed
+var _ = env
+var _ = hostCPUs
+var _ = defaultJobs
+var _ = newClock
+var _ = (*clock).stamp

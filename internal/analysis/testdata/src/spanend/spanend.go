@@ -1,0 +1,91 @@
+// Package spanend is the spanend golden: every span acquired from the
+// real prefix/internal/obs tracer must reach End() on all paths.
+package spanend
+
+import "prefix/internal/obs"
+
+// missingEnd never ends the span.
+func missingEnd(tr *obs.Tracer) {
+	span := tr.Start("phase") // want `missing span\.End\(\)`
+	span.Set("k", 1)
+}
+
+// discarded loses the span entirely.
+func discarded(tr *obs.Tracer) {
+	tr.Start("phase") // want `span is discarded`
+}
+
+// toBlank throws the span away explicitly.
+func toBlank(tr *obs.Tracer) {
+	_ = tr.Start("phase") // want `assigned to _`
+}
+
+// conditional ends the span on only one path.
+func conditional(tr *obs.Tracer, fail bool) {
+	span := tr.Start("phase") // want `only called on some paths`
+	if fail {
+		span.End()
+	}
+}
+
+// childMissing applies the same rule to Span.Child.
+func childMissing(parent *obs.Span) {
+	child := parent.Child("sub") // want `missing child\.End\(\)`
+	child.Set("k", 1)
+}
+
+// deferred is the canonical correct shape.
+func deferred(tr *obs.Tracer) {
+	span := tr.Start("phase")
+	defer span.End()
+}
+
+// deferredClosure ends the span inside a deferred closure.
+func deferredClosure(tr *obs.Tracer) {
+	span := tr.Start("phase")
+	defer func() {
+		span.Set("done", true)
+		span.End()
+	}()
+}
+
+// explicit ends parent and child in the acquisition block.
+func explicit(tr *obs.Tracer) {
+	span := tr.Start("phase")
+	child := span.Child("sub")
+	child.End()
+	span.End()
+}
+
+// errPath ends on the error path and on the fall-through path; the
+// same-block End covers straight-line flow.
+func errPath(tr *obs.Tracer, f func() error) error {
+	span := tr.Start("phase")
+	if err := f(); err != nil {
+		span.End()
+		return err
+	}
+	span.End()
+	return nil
+}
+
+// handoff transfers ownership to another function.
+func handoff(tr *obs.Tracer) {
+	span := tr.Start("phase")
+	finish(span)
+}
+
+func finish(s *obs.Span) { s.End() }
+
+// returned transfers ownership to the caller.
+func returned(tr *obs.Tracer) *obs.Span {
+	span := tr.Start("phase")
+	return span
+}
+
+// leftOpen demonstrates the accepted suppression.
+func leftOpen(tr *obs.Tracer) {
+	//lint:ignore spanend demo: harness cuts this span off at process exit by design
+	span := tr.Start("phase")
+	span.Set("k", 1)
+}

@@ -91,7 +91,7 @@ type trackedJob struct {
 
 // NewJobTracker returns a tracker on the wall clock.
 func NewJobTracker() *JobTracker {
-	return &JobTracker{now: time.Now, jobs: make(map[jobKey]*trackedJob)}
+	return &JobTracker{now: wallClock, jobs: make(map[jobKey]*trackedJob)}
 }
 
 // SetClock replaces the tracker's time source (deterministic tests).

@@ -18,7 +18,7 @@ type Tracer struct {
 
 // NewTracer returns a tracer whose clock is the wall clock.
 func NewTracer() *Tracer {
-	t := &Tracer{now: time.Now}
+	t := &Tracer{now: wallClock}
 	t.epoch = t.now()
 	return t
 }

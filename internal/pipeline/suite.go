@@ -14,6 +14,8 @@ import (
 // DefaultJobs is the default worker count for suite runs: one worker per
 // available CPU (the evaluation is compute-bound; benchmark×seed jobs
 // share nothing but the race-safe obs.Registry/Tracer).
+//
+//lint:ignore nodeterminism worker count only paces execution; result slots are order-indexed so output is jobs-independent
 func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
 
 // runJobs executes jobs 0..n-1 on at most `jobs` concurrent workers and
