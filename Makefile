@@ -8,7 +8,7 @@ GO ?= go
 # benchmarks at reduced scale through the worker pool.
 SMOKE_ARGS = -scale bench -jobs 4 -only table3 -bench mcf,health
 
-.PHONY: check fmt vet lint build test test-short race bench bench-smoke bench-baseline bench-gate clean
+.PHONY: check fmt vet lint build test test-short race bench bench-smoke bench-baseline bench-gate stream-smoke clean
 
 check: fmt vet lint build race
 
@@ -57,6 +57,20 @@ bench-baseline:
 bench-gate:
 	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) \
 		-baseline testdata/bench-smoke-baseline.json -regress-pct 50
+
+# Streaming parity gate: the smoke suite must produce byte-identical
+# reports whether profiling traces are materialized in memory or
+# streamed through the bounded-memory spill recorder.
+stream-smoke:
+	@tmpdir="$$(mktemp -d)"; trap 'rm -rf "$$tmpdir"' EXIT; \
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) > "$$tmpdir/mem.txt" && \
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) -stream -stream-chunk 4096 > "$$tmpdir/stream.txt" || exit 1; \
+	if cmp -s "$$tmpdir/mem.txt" "$$tmpdir/stream.txt"; then \
+		echo "stream-smoke: streaming report is byte-identical to the in-memory report"; \
+	else \
+		echo "stream-smoke: streaming report differs from the in-memory report:"; \
+		diff "$$tmpdir/mem.txt" "$$tmpdir/stream.txt" | head -40; exit 1; \
+	fi
 
 clean:
 	$(GO) clean ./...

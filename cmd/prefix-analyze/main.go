@@ -7,7 +7,13 @@
 //
 //	prefix-analyze -trace mcf.trace -o mcf.plan.json
 //	prefix-analyze -trace mcf.trace -variant hds -miner sequitur -v
+//	prefix-analyze -trace mcf.trace -stream -o mcf.plan.json
 //	prefix-analyze -trace mcf.trace -trace-out phases.json -metrics-out plan.prom
+//
+// Both trace formats are accepted (the classic header-counted file and
+// the chunked stream prefix-trace -stream writes). With -stream the
+// analysis runs single-pass off the file without materializing the
+// event slice, so traces far larger than memory are fine.
 package main
 
 import (
@@ -36,6 +42,7 @@ func run() (err error) {
 		variant = flag.String("variant", "hds+hot", "placement variant: hot, hds, hds+hot")
 		miner   = flag.String("miner", "lcs", "hot-data-stream miner: lcs or sequitur")
 		summary = flag.Bool("summary", false, "print the analysis summary (OHDS/RHDS) to stderr")
+		stream  = flag.Bool("stream", false, "analyze the trace incrementally without materializing it (bounded memory)")
 		obsf    = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -78,24 +85,47 @@ func run() (err error) {
 	root := sess.Tracer.Start("analyze " + *bench)
 	defer root.End()
 
-	readSpan := root.Child("read-trace")
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
-	tr, err := trace.Read(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-	readSpan.Set("events", len(tr.Events))
-	readSpan.End()
+	var a *trace.Analysis
+	if *stream {
+		// Single-pass: decode + feed one event at a time.
+		readSpan := root.Child("read-trace")
+		sr, serr := trace.NewStreamReader(f)
+		readSpan.End()
+		if serr != nil {
+			f.Close()
+			return serr
+		}
+		anSpan := root.Child("analyze")
+		a, err = trace.AnalyzeSource(sr)
+		f.Close()
+		if err != nil {
+			anSpan.End()
+			return err
+		}
+		anSpan.Set("objects", len(a.Objects))
+		anSpan.Set("heap_accesses", a.HeapAccesses)
+		anSpan.End()
+	} else {
+		readSpan := root.Child("read-trace")
+		tr, rerr := trace.Read(f)
+		f.Close()
+		if rerr != nil {
+			readSpan.End()
+			return rerr
+		}
+		readSpan.Set("events", len(tr.Events))
+		readSpan.End()
 
-	anSpan := root.Child("analyze")
-	a := trace.Analyze(tr)
-	anSpan.Set("objects", len(a.Objects))
-	anSpan.Set("heap_accesses", a.HeapAccesses)
-	anSpan.End()
+		anSpan := root.Child("analyze")
+		a = trace.Analyze(tr)
+		anSpan.Set("objects", len(a.Objects))
+		anSpan.Set("heap_accesses", a.HeapAccesses)
+		anSpan.End()
+	}
 
 	planSpan := root.Child("plan " + v.String())
 	cfg.Trace = planSpan
@@ -107,7 +137,7 @@ func run() (err error) {
 
 	if reg := sess.Metrics; reg != nil {
 		kv := []string{"benchmark", *bench, "variant", v.String()}
-		reg.Counter("prefix_analyze_trace_events_total", kv...).Add(uint64(len(tr.Events)))
+		reg.Counter("prefix_analyze_trace_events_total", kv...).Add(uint64(a.Events))
 		reg.Counter("prefix_analyze_heap_accesses_total", kv...).Add(a.HeapAccesses)
 		reg.Gauge("prefix_analyze_objects", kv...).Set(float64(len(a.Objects)))
 		reg.Gauge("prefix_plan_sites", kv...).Set(float64(plan.NumSites()))
@@ -119,7 +149,7 @@ func run() (err error) {
 
 	if *summary {
 		fmt.Fprintf(os.Stderr, "trace: %d events, %d objects, %d heap accesses\n",
-			len(tr.Events), len(a.Objects), a.HeapAccesses)
+			a.Events, len(a.Objects), a.HeapAccesses)
 		fmt.Fprintf(os.Stderr, "hot: %d objects covering %.1f%% of heap accesses, %d in streams\n",
 			sum.HotObjects, sum.CoveragePct, sum.HotInHDS)
 		fmt.Fprintf(os.Stderr, "context: %s, %d sites, %d counters\n",

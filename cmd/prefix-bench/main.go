@@ -64,7 +64,7 @@ func main() {
 
 // validateArgs checks every flag combination that can be rejected before
 // any benchmark burns cycles.
-func validateArgs(only, scale string, seeds, jobs int, record bool, baseline string, regressPct float64) error {
+func validateArgs(only, scale string, seeds, jobs int, record bool, baseline string, regressPct float64, stream bool, streamChunk int) error {
 	if only != "" {
 		known := false
 		for _, a := range artifacts {
@@ -92,6 +92,12 @@ func validateArgs(only, scale string, seeds, jobs int, record bool, baseline str
 	if regressPct < 0 {
 		return fmt.Errorf("-regress-pct must be non-negative (got %g)", regressPct)
 	}
+	if streamChunk < 0 {
+		return fmt.Errorf("-stream-chunk must be non-negative (got %d)", streamChunk)
+	}
+	if streamChunk > 0 && !stream {
+		return fmt.Errorf("-stream-chunk only applies with -stream")
+	}
 	if record || baseline != "" {
 		ok := only == ""
 		for _, a := range comparisonArtifacts {
@@ -109,18 +115,20 @@ func validateArgs(only, scale string, seeds, jobs int, record bool, baseline str
 
 func run() (err error) {
 	var (
-		only       = flag.String("only", "", "emit a single artifact: figure1, figure2, table2..table6, figure9..figure14, variance")
-		benchList  = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
-		scale      = flag.String("scale", "long", "evaluation scale: long or bench")
-		heatmapDir = flag.String("heatmap-dir", "", "directory for Figure 9 heatmap CSVs")
-		capture    = flag.Bool("capture", false, "record long-run traces for Table 5 long-run columns (slower)")
-		seeds      = flag.Int("seeds", 0, "additionally run each benchmark across N perturbed evaluation seeds and report the variance (the paper averages over 10 runs)")
-		jobs       = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark/seed evaluations concurrently (1 = serial; output is identical at any job count)")
-		record     = flag.Bool("record", false, "snapshot this run's per-benchmark results to BENCH_<timestamp>.json")
-		recordOut  = flag.String("record-out", "", "write the run snapshot to this file instead of BENCH_<timestamp>.json (implies -record)")
-		baseline   = flag.String("baseline", "", "compare this run against a recorded BENCH_*.json and exit non-zero on regression")
-		regressPct = flag.Float64("regress-pct", 5, "fail the -baseline comparison when any tracked metric regresses by more than this percent")
-		obsf       = obsflags.Register(flag.CommandLine)
+		only        = flag.String("only", "", "emit a single artifact: figure1, figure2, table2..table6, figure9..figure14, variance")
+		benchList   = flag.String("bench", "", "comma-separated benchmark subset (default: all 13)")
+		scale       = flag.String("scale", "long", "evaluation scale: long or bench")
+		heatmapDir  = flag.String("heatmap-dir", "", "directory for Figure 9 heatmap CSVs")
+		capture     = flag.Bool("capture", false, "record long-run traces for Table 5 long-run columns (slower)")
+		seeds       = flag.Int("seeds", 0, "additionally run each benchmark across N perturbed evaluation seeds and report the variance (the paper averages over 10 runs)")
+		jobs        = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark/seed evaluations concurrently (1 = serial; output is identical at any job count)")
+		record      = flag.Bool("record", false, "snapshot this run's per-benchmark results to BENCH_<timestamp>.json")
+		recordOut   = flag.String("record-out", "", "write the run snapshot to this file instead of BENCH_<timestamp>.json (implies -record)")
+		baseline    = flag.String("baseline", "", "compare this run against a recorded BENCH_*.json and exit non-zero on regression")
+		regressPct  = flag.Float64("regress-pct", 5, "fail the -baseline comparison when any tracked metric regresses by more than this percent")
+		stream      = flag.Bool("stream", false, "collect profiles through the bounded-memory spill-to-disk streaming path (report output is identical)")
+		streamChunk = flag.Int("stream-chunk", 0, "events per spill chunk in -stream mode (0 = default budget)")
+		obsf        = obsflags.Register(flag.CommandLine)
 	)
 	obsf.RegisterServe(flag.CommandLine)
 	flag.Parse()
@@ -128,7 +136,7 @@ func run() (err error) {
 	if *recordOut != "" {
 		*record = true
 	}
-	if err := validateArgs(*only, *scale, *seeds, *jobs, *record, *baseline, *regressPct); err != nil {
+	if err := validateArgs(*only, *scale, *seeds, *jobs, *record, *baseline, *regressPct, *stream, *streamChunk); err != nil {
 		return err
 	}
 	names, err := workloads.ResolveList(*benchList)
@@ -152,6 +160,8 @@ func run() (err error) {
 	opt.Progress = sess.Progress()
 	opt.Metrics = sess.Metrics
 	opt.Tracer = sess.Tracer
+	opt.Stream = *stream
+	opt.StreamChunkEvents = *streamChunk
 
 	want := func(artifact string) bool {
 		return *only == "" || strings.EqualFold(*only, artifact)

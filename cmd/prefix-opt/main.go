@@ -40,6 +40,7 @@ func run() (err error) {
 		scale    = flag.String("scale", "long", "evaluation scale: bench or long")
 		jobs     = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark evaluations concurrently (1 = serial)")
 		paperHW  = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
+		stream   = flag.Bool("stream", false, "collect profiles through the bounded-memory spill-to-disk streaming path (results are identical)")
 		obsf     = obsflags.Register(flag.CommandLine)
 	)
 	obsf.RegisterServe(flag.CommandLine)
@@ -80,6 +81,7 @@ func run() (err error) {
 	opt.Progress = sess.Progress()
 	opt.Metrics = sess.Metrics
 	opt.Tracer = sess.Tracer
+	opt.Stream = *stream
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "strategy\tcycles\tvs baseline\tL1 miss\tLLC miss\tstalls\tpeak")

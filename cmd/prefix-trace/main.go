@@ -6,49 +6,79 @@
 //
 //	prefix-trace -bench mcf -o mcf.trace            # profiling input
 //	prefix-trace -bench mcf -scale long -o mcf.trace
+//	prefix-trace -bench mcf -o mcf.trace -stream    # bounded memory
+//	prefix-trace -bench mcf -o mcf.trace -stream -chunk-events 4096
 //	prefix-trace -bench mcf -o mcf.trace -metrics-out run.prom -v
+//
+// With -stream the trace never materializes: the machine records through
+// the spill recorder straight into the output file in the chunked stream
+// format, holding at most -chunk-events events in memory. prefix-analyze
+// reads both formats.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"prefix/internal/baselines"
 	"prefix/internal/cachesim"
 	"prefix/internal/machine"
+	"prefix/internal/obs"
 	"prefix/internal/obsflags"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
 )
 
+// errUsage marks bad invocations; main exits 2 for them, matching flag
+// parsing errors.
+var errUsage = errors.New("usage")
+
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "prefix-trace:", err)
-		os.Exit(1)
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
 	}
+	if errors.Is(err, errUsage) {
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, "prefix-trace:", err)
+	os.Exit(1)
 }
 
-func run() (err error) {
+func run(args []string, stdout io.Writer) (err error) {
+	fs := flag.NewFlagSet("prefix-trace", flag.ContinueOnError)
 	var (
-		bench = flag.String("bench", "", "benchmark name (required); see -list")
-		out   = flag.String("o", "", "output trace file (required)")
-		scale = flag.String("scale", "profile", "run scale: profile, bench or long")
-		text  = flag.Bool("text", false, "write a human-readable text dump instead of the binary format")
-		list  = flag.Bool("list", false, "list benchmarks and exit")
-		obsf  = obsflags.Register(flag.CommandLine)
+		bench       = fs.String("bench", "", "benchmark name (required); see -list")
+		out         = fs.String("o", "", "output trace file (required)")
+		scale       = fs.String("scale", "profile", "run scale: profile, bench or long")
+		text        = fs.Bool("text", false, "write a human-readable text dump instead of the binary format")
+		stream      = fs.Bool("stream", false, "record through the bounded-memory spill recorder straight into the output file (chunked stream format)")
+		chunkEvents = fs.Int("chunk-events", trace.DefaultChunkEvents, "events buffered per chunk in -stream mode (the trace memory budget)")
+		list        = fs.Bool("list", false, "list benchmarks and exit")
+		obsf        = obsflags.Register(fs)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
 
 	if *list {
 		for _, n := range workloads.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
 		return nil
 	}
 	if *bench == "" || *out == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
+	}
+	if *stream && *text {
+		return errors.New("-stream writes the chunked binary format; it cannot be combined with -text")
+	}
+	if *chunkEvents < 1 {
+		return fmt.Errorf("-chunk-events must be positive (got %d)", *chunkEvents)
 	}
 	spec, err := workloads.Get(*bench)
 	if err != nil {
@@ -65,6 +95,18 @@ func run() (err error) {
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
 
+	// Create the output before burning cycles on the run: an unwritable
+	// path must fail immediately, not after the full trace is built.
+	f, err := os.Create(*out)
+	if err != nil {
+		return fmt.Errorf("creating output file %s: %w", *out, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && !errors.Is(cerr, os.ErrClosed) && err == nil {
+			err = cerr
+		}
+	}()
+
 	sess, err := obsf.Start()
 	if err != nil {
 		return err
@@ -76,6 +118,11 @@ func run() (err error) {
 	}()
 
 	root := sess.Tracer.Start("trace " + *bench)
+	defer root.End()
+	if *stream {
+		return runStreaming(stdout, f, spec, cfg, *bench, *chunkEvents, sess, root)
+	}
+
 	runSpan := root.Child("profile-run")
 	rec := trace.NewRecorder()
 	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), machine.WithRecorder(rec))
@@ -87,38 +134,64 @@ func run() (err error) {
 	metrics.Publish(sess.Metrics, "benchmark", *bench, "run", "trace")
 
 	writeSpan := root.Child("write-trace")
-	f, err := os.Create(*out)
-	if err != nil {
-		root.End()
-		return err
-	}
 	var writeErr error
 	if *text {
 		writeErr = tr.WriteText(f)
 	} else {
 		writeErr = tr.Write(f)
 	}
-	if writeErr != nil {
-		f.Close()
-		root.End()
-		return writeErr
-	}
-	if err := f.Close(); err != nil {
-		root.End()
-		return err
+	if writeErr == nil {
+		writeErr = f.Close()
 	}
 	writeSpan.End()
-	root.End()
+	if writeErr != nil {
+		return writeErr
+	}
 
 	s := tr.Summarize()
 	if reg := sess.Metrics; reg != nil {
 		kv := []string{"benchmark", *bench}
+		rec.Stats().Publish(reg, kv...)
 		reg.Counter("prefix_trace_events_total", kv...).Add(uint64(s.Events))
 		reg.Counter("prefix_trace_allocs_total", kv...).Add(s.Allocs)
 		reg.Counter("prefix_trace_accesses_total", kv...).Add(s.Accesses)
 		reg.Gauge("prefix_trace_sites", kv...).Set(float64(s.Sites))
 	}
-	fmt.Printf("%s: %d events (%d allocs over %d sites, %d accesses), %d instructions -> %s\n",
+	fmt.Fprintf(stdout, "%s: %d events (%d allocs over %d sites, %d accesses), %d instructions -> %s\n",
 		*bench, s.Events, s.Allocs, s.Sites, s.Accesses, metrics.Instr, *out)
+	return nil
+}
+
+// runStreaming records the run through the spill recorder directly into
+// the (already created) output file. The caller closes the file.
+func runStreaming(stdout io.Writer, f *os.File, spec workloads.Spec, cfg workloads.Config,
+	bench string, chunkEvents int, sess *obsflags.Session, root *obs.Span) error {
+	runSpan := root.Child("profile-run")
+	rec, err := trace.NewSpillRecorder(f, chunkEvents)
+	if err != nil {
+		runSpan.End()
+		return err
+	}
+	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), machine.WithRecorder(rec))
+	spec.Program.Run(m, cfg)
+	metrics := m.Finish()
+	if err := rec.Close(); err != nil {
+		runSpan.End()
+		return err
+	}
+	stats := rec.Stats()
+	runSpan.Set("events", stats.Events)
+	runSpan.Set("chunks", stats.Chunks)
+	runSpan.Set("peak_buffered_events", stats.PeakBufferedEvents)
+	runSpan.End()
+
+	metrics.Publish(sess.Metrics, "benchmark", bench, "run", "trace")
+	if reg := sess.Metrics; reg != nil {
+		kv := []string{"benchmark", bench}
+		stats.Publish(reg, kv...)
+		reg.Counter("prefix_trace_events_total", kv...).Add(stats.Events)
+	}
+	fmt.Fprintf(stdout, "%s: %d events streamed in %d chunks (peak %d buffered), %d instructions -> %s\n",
+		bench, stats.Events, stats.Chunks, stats.PeakBufferedEvents, metrics.Instr, f.Name())
 	return nil
 }

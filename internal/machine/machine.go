@@ -120,7 +120,7 @@ type Machine struct {
 	alloc Allocator
 	hier  *cachesim.Hierarchy
 	cost  cachesim.CostModel
-	rec   *trace.Recorder // nil when not tracing
+	rec   trace.EventRecorder // nil when not tracing
 	stack callstack.Stack
 
 	m Metrics
@@ -129,8 +129,9 @@ type Machine struct {
 // Option configures a Machine.
 type Option func(*Machine)
 
-// WithRecorder attaches a trace recorder (profiling runs).
-func WithRecorder(r *trace.Recorder) Option {
+// WithRecorder attaches a trace recorder (profiling runs): the
+// in-memory *trace.Recorder or the bounded-memory *trace.SpillRecorder.
+func WithRecorder(r trace.EventRecorder) Option {
 	return func(m *Machine) { m.rec = r }
 }
 
@@ -148,7 +149,7 @@ func New(alloc Allocator, cfg cachesim.Config, opts ...Option) *Machine {
 }
 
 // newShared builds a machine whose LLC is shared (multithreaded groups).
-func newShared(alloc Allocator, cfg cachesim.Config, llc *cachesim.Cache, rec *trace.Recorder) *Machine {
+func newShared(alloc Allocator, cfg cachesim.Config, llc *cachesim.Cache, rec trace.EventRecorder) *Machine {
 	return &Machine{
 		alloc: alloc,
 		hier:  cachesim.NewShared(cfg, llc),
@@ -249,7 +250,7 @@ type Group struct {
 // NewGroup builds k thread environments sharing one LLC and allocator.
 // When rec is non-nil all threads record into the same trace (the paper
 // collects a single trace with the default thread count).
-func NewGroup(alloc Allocator, cfg cachesim.Config, k int, rec *trace.Recorder) *Group {
+func NewGroup(alloc Allocator, cfg cachesim.Config, k int, rec trace.EventRecorder) *Group {
 	llc := cachesim.SharedLLC(cfg)
 	g := &Group{}
 	for i := 0; i < k; i++ {

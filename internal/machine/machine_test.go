@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"prefix/internal/cachesim"
@@ -161,5 +163,57 @@ func TestEnterLeaveCost(t *testing.T) {
 	m.Leave()
 	if got := m.Finish().Instr; got != 3 {
 		t.Errorf("call/return instr = %d, want 3", got)
+	}
+}
+
+func TestMachineSpillRecorderParity(t *testing.T) {
+	// Run the same program through both recorder implementations: the
+	// spill file must decode to exactly the in-memory trace.
+	program := func(m *Machine) {
+		m.Enter(1)
+		a := m.Malloc(3, 64)
+		m.Write(a, 8)
+		m.Read(a+16, 8)
+		b := m.Malloc(4, 32)
+		m.Read(b, 8)
+		b = m.Realloc(b, 128)
+		m.Write(b, 8)
+		m.Compute(25)
+		m.Free(a)
+		m.Free(b)
+		m.Leave()
+	}
+
+	mm := trace.NewRecorder()
+	m1 := New(&fakeAlloc{}, cfg(), WithRecorder(mm))
+	program(m1)
+	met1 := m1.Finish()
+
+	var buf bytes.Buffer
+	sp, err := trace.NewSpillRecorder(&buf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(&fakeAlloc{}, cfg(), WithRecorder(sp))
+	program(m2)
+	met2 := m2.Finish()
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if met1 != met2 {
+		t.Errorf("machine metrics diverge across recorders:\n %+v\n %+v", met1, met2)
+	}
+	want := mm.Trace()
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, want.Events) || got.Instr != want.Instr {
+		t.Fatalf("spilled trace differs from in-memory trace:\n got %d events instr %d\nwant %d events instr %d",
+			len(got.Events), got.Instr, len(want.Events), want.Instr)
+	}
+	if s := sp.Stats(); s.PeakBufferedEvents > 4 || s.Events != uint64(len(want.Events)) {
+		t.Errorf("spill stats = %+v", s)
 	}
 }

@@ -8,6 +8,8 @@ package pipeline
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"prefix/internal/baselines"
 	"prefix/internal/cachesim"
@@ -55,6 +57,19 @@ type Options struct {
 	// server's /status tracker from the same stream. Suite runners invoke
 	// it from worker goroutines, so it must be safe for concurrent use.
 	Progress func(ev obs.JobEvent)
+	// Stream routes profiling runs through the bounded-memory path: the
+	// machine records into a spill-to-disk chunked trace file and the
+	// analysis consumes it as a stream, so peak trace-buffer memory is
+	// one chunk instead of the whole trace. The resulting Profile is
+	// identical to the in-memory path's.
+	Stream bool
+	// StreamChunkEvents bounds the spill buffer in events per chunk;
+	// values < 1 select trace.DefaultChunkEvents.
+	StreamChunkEvents int
+	// StreamDir is where profiling spill files are created (the system
+	// temp directory when empty). Files are removed when the profile
+	// collection returns.
+	StreamDir string
 }
 
 // progress invokes the Progress callback when one is set.
@@ -116,29 +131,28 @@ func CollectProfile(spec workloads.Spec, opt Options) (*Profile, error) {
 // collectProfile is CollectProfile under a caller-provided parent span:
 // it emits one child span per profiling stage (profile-run, analyze,
 // hotness, hds-mining) and publishes the stage counters when a registry
-// is attached.
+// is attached. Options.Stream selects the bounded-memory recording and
+// analysis path; the resulting Profile is identical either way.
 func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profile, error) {
 	name := spec.Program.Name()
 
-	runSpan := parent.Child("profile-run")
-	rec := trace.NewRecorder()
-	alloc := baselines.NewBaseline(opt.Cache.Cost)
-	m := machine.New(alloc, opt.Cache, machine.WithRecorder(rec))
-	spec.Program.Run(m, spec.Profile)
-	metrics := m.Finish()
-	tr := rec.Trace()
-	runSpan.Set("events", len(tr.Events))
-	runSpan.End()
-
-	anSpan := parent.Child("analyze")
-	a := trace.Analyze(tr)
+	var (
+		a       *trace.Analysis
+		metrics machine.Metrics
+		stats   trace.RecorderStats
+		err     error
+	)
+	if opt.Stream {
+		a, metrics, stats, err = streamProfileRun(spec, opt, parent)
+	} else {
+		a, metrics, stats = memoryProfileRun(spec, opt, parent)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s streaming profile: %w", name, err)
+	}
 	if a.HeapAccesses == 0 {
-		anSpan.End()
 		return nil, fmt.Errorf("pipeline: %s profiling run produced no heap accesses", name)
 	}
-	anSpan.Set("objects", len(a.Objects))
-	anSpan.Set("heap_accesses", a.HeapAccesses)
-	anSpan.End()
 
 	hotSpan := parent.Child("hotness")
 	cfg := opt.Plan
@@ -159,7 +173,8 @@ func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profil
 	if reg := opt.Metrics; reg != nil {
 		kv := append([]string{"benchmark", name}, opt.Labels...)
 		metrics.Publish(reg, append(kv, "run", "profile")...)
-		reg.Counter("prefix_profile_trace_events_total", kv...).Add(uint64(len(tr.Events)))
+		stats.Publish(reg, kv...)
+		reg.Counter("prefix_profile_trace_events_total", kv...).Add(stats.Events)
 		reg.Counter("prefix_profile_heap_accesses_total", kv...).Add(a.HeapAccesses)
 		reg.Gauge("prefix_profile_objects", kv...).Set(float64(len(a.Objects)))
 		reg.Gauge("prefix_profile_hot_objects", kv...).Set(float64(len(hot.Objects)))
@@ -175,6 +190,83 @@ func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profil
 		StreamsSequitur: seq,
 		Metrics:         metrics,
 	}, nil
+}
+
+// memoryProfileRun is the reference profiling path: record the whole
+// trace in memory, then analyze it.
+func memoryProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (*trace.Analysis, machine.Metrics, trace.RecorderStats) {
+	runSpan := parent.Child("profile-run")
+	rec := trace.NewRecorder()
+	alloc := baselines.NewBaseline(opt.Cache.Cost)
+	m := machine.New(alloc, opt.Cache, machine.WithRecorder(rec))
+	spec.Program.Run(m, spec.Profile)
+	metrics := m.Finish()
+	tr := rec.Trace()
+	stats := rec.Stats()
+	runSpan.Set("events", len(tr.Events))
+	runSpan.End()
+
+	anSpan := parent.Child("analyze")
+	a := trace.Analyze(tr)
+	anSpan.Set("objects", len(a.Objects))
+	anSpan.Set("heap_accesses", a.HeapAccesses)
+	anSpan.End()
+	return a, metrics, stats
+}
+
+// streamProfileRun is the bounded-memory profiling path: the machine
+// records through a spill-to-disk recorder into a temporary chunked
+// trace file, which is then analyzed as a stream. Trace-buffer memory
+// never exceeds one chunk (StreamChunkEvents events).
+func streamProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (_ *trace.Analysis, metrics machine.Metrics, stats trace.RecorderStats, err error) {
+	runSpan := parent.Child("profile-run")
+	f, err := os.CreateTemp(opt.StreamDir, "prefix-spill-*.pfxt")
+	if err != nil {
+		runSpan.End()
+		return nil, metrics, stats, err
+	}
+	defer func() {
+		f.Close()
+		os.Remove(f.Name())
+	}()
+	rec, err := trace.NewSpillRecorder(f, opt.StreamChunkEvents)
+	if err != nil {
+		runSpan.End()
+		return nil, metrics, stats, err
+	}
+	alloc := baselines.NewBaseline(opt.Cache.Cost)
+	m := machine.New(alloc, opt.Cache, machine.WithRecorder(rec))
+	spec.Program.Run(m, spec.Profile)
+	metrics = m.Finish()
+	if err := rec.Close(); err != nil {
+		runSpan.End()
+		return nil, metrics, stats, err
+	}
+	stats = rec.Stats()
+	runSpan.Set("events", stats.Events)
+	runSpan.Set("chunks", stats.Chunks)
+	runSpan.Set("peak_buffered_events", stats.PeakBufferedEvents)
+	runSpan.End()
+
+	anSpan := parent.Child("analyze")
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		anSpan.End()
+		return nil, metrics, stats, err
+	}
+	sr, err := trace.NewStreamReader(f)
+	if err != nil {
+		anSpan.End()
+		return nil, metrics, stats, err
+	}
+	a, err := trace.AnalyzeSource(sr)
+	if err != nil {
+		anSpan.End()
+		return nil, metrics, stats, err
+	}
+	anSpan.Set("objects", len(a.Objects))
+	anSpan.Set("heap_accesses", a.HeapAccesses)
+	anSpan.End()
+	return a, metrics, stats, nil
 }
 
 func weigh(streams []hds.Stream, hot *hotness.Set) []hds.Stream {

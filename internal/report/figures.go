@@ -115,7 +115,7 @@ func BuildHeatmap(tr *trace.Trace, timeBuckets, addrBuckets int) *Heatmap {
 		h.Counts[i] = make([]uint64, timeBuckets)
 	}
 	span := h.Footprint
-	events := len(tr.Events)
+	events := a.Events
 	for i, id := range a.Refs {
 		if !hotAddr[id] {
 			continue

@@ -5,10 +5,13 @@ import (
 	"testing"
 )
 
-// FuzzRead throws arbitrary bytes at the trace decoder: it must never
-// panic, and anything it accepts must re-encode losslessly.
+// FuzzRead throws arbitrary bytes at the trace decoders: neither may
+// panic, anything accepted must re-encode losslessly, and the streaming
+// reader must agree with the materializing Read on every input — same
+// events in the same order, or an error on both sides.
 func FuzzRead(f *testing.F) {
-	// Seed with a valid trace and a few corruptions of it.
+	// Seed with valid traces in both container versions and a few
+	// corruptions of them.
 	var buf bytes.Buffer
 	if err := record().Write(&buf); err != nil {
 		f.Fatal(err)
@@ -24,12 +27,60 @@ func FuzzRead(f *testing.F) {
 		flipped[len(flipped)/2] ^= 0xff
 		f.Add(flipped)
 	}
+	// Chunked-container seeds: a valid stream and a truncated chunk.
+	var chunked bytes.Buffer
+	sw, err := NewStreamWriter(&chunked, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ev := range record().Events {
+		if err := sw.Append(ev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	sw.SetInstr(record().Instr)
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(chunked.Bytes())
+	f.Add(append([]byte(nil), chunked.Bytes()[:chunked.Len()-6]...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Read(bytes.NewReader(data))
-		if err != nil {
-			return // rejecting garbage is fine
+
+		// The streaming reader must agree with Read byte for byte: the
+		// same events in the same order, or an error on both paths.
+		sr, srErr := NewStreamReader(bytes.NewReader(data))
+		var streamed []Event
+		var instr uint64
+		if srErr == nil {
+			for {
+				ev, ok := sr.Next()
+				if !ok {
+					break
+				}
+				streamed = append(streamed, ev)
+			}
+			srErr = sr.Err()
+			instr = sr.Instr()
 		}
+		if (err == nil) != (srErr == nil) {
+			t.Fatalf("decoder disagreement: Read err=%v, stream err=%v", err, srErr)
+		}
+		if err != nil {
+			return // rejecting garbage is fine, as long as both reject
+		}
+		if len(streamed) != len(tr.Events) || instr != tr.Instr {
+			t.Fatalf("stream decoded %d events (instr %d), Read %d (instr %d)",
+				len(streamed), instr, len(tr.Events), tr.Instr)
+		}
+		for i := range streamed {
+			if streamed[i] != tr.Events[i] {
+				t.Fatalf("event %d: stream %+v, Read %+v", i, streamed[i], tr.Events[i])
+			}
+		}
+
+		// Anything accepted must survive a re-encode roundtrip.
 		var out bytes.Buffer
 		if err := tr.Write(&out); err != nil {
 			t.Fatalf("accepted trace failed to re-encode: %v", err)

@@ -84,6 +84,16 @@ func (r *Recorder) AddInstr(n uint64) { r.tr.Instr += n }
 // Trace returns the recorded trace. The recorder must not be used after.
 func (r *Recorder) Trace() *Trace { return &r.tr }
 
+// Stats reports what the recorder captured. The in-memory recorder
+// buffers everything, so the peak equals the event count and nothing is
+// ever spilled.
+func (r *Recorder) Stats() RecorderStats {
+	return RecorderStats{
+		Events:             uint64(len(r.tr.Events)),
+		PeakBufferedEvents: len(r.tr.Events),
+	}
+}
+
 // Object describes one dynamic heap object reconstructed from a trace.
 type Object struct {
 	ID       mem.ObjectID
@@ -103,6 +113,8 @@ type Object struct {
 
 // Analysis is the result of reconstructing objects from a trace.
 type Analysis struct {
+	// Events is the total number of trace events analyzed.
+	Events  int
 	Objects []*Object // index = ObjectID-1
 	// Refs is the object-granular reference string: for every access event
 	// that hit a live heap object, the ObjectID, in trace order. Accesses
@@ -126,79 +138,111 @@ type Analysis struct {
 	Instr       uint64
 }
 
-// Analyze reconstructs dynamic objects and the object-granular reference
-// string from a trace.
-func Analyze(t *Trace) *Analysis {
-	a := &Analysis{
-		SiteAllocs:  make(map[mem.SiteID]uint64),
-		SiteObjects: make(map[mem.SiteID][]mem.ObjectID),
-		SiteMaxLive: make(map[mem.SiteID]uint64),
-		Instr:       t.Instr,
-	}
-	// live maps base address -> object for containment queries. Objects may
-	// be any size, so interval lookup is needed; we keep a sorted structure
-	// lazily via a map from line to objects would be complex. Instead keep
-	// a map from exact base and a secondary interval index: because the
-	// workloads access addresses inside [base, base+size), we track live
-	// intervals in an ordered slice with binary search.
-	idx := newIntervalIndex()
-	var live uint64
-	siteLive := make(map[mem.SiteID]uint64)
+// Analyzer reconstructs objects and the reference string incrementally:
+// Feed it every event in trace order, then Finish. Analyze and
+// AnalyzeSource are both built on it, so the in-memory and streaming
+// paths produce identical results by construction.
+type Analyzer struct {
+	a *Analysis
+	// idx maps live address intervals -> objects for containment
+	// queries: the workloads access addresses inside [base, base+size),
+	// so live intervals sit in an ordered slice with binary search.
+	idx      *intervalIndex
+	live     uint64
+	siteLive map[mem.SiteID]uint64
+	i        int // event index == logical time
+}
 
-	for i, ev := range t.Events {
-		switch ev.Kind {
-		case KindAlloc:
-			a.SiteAllocs[ev.Site]++
-			obj := &Object{
-				ID:        mem.ObjectID(len(a.Objects) + 1),
-				Site:      ev.Site,
-				Stack:     ev.Stack,
-				Instance:  mem.Instance(a.SiteAllocs[ev.Site]),
-				Size:      ev.Size,
-				FinalSize: ev.Size,
-				Addr:      ev.Addr,
-				AllocAt:   i,
-				FreeAt:    -1,
+// NewAnalyzer returns an empty incremental analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		a: &Analysis{
+			SiteAllocs:  make(map[mem.SiteID]uint64),
+			SiteObjects: make(map[mem.SiteID][]mem.ObjectID),
+			SiteMaxLive: make(map[mem.SiteID]uint64),
+		},
+		idx:      newIntervalIndex(),
+		siteLive: make(map[mem.SiteID]uint64),
+	}
+}
+
+// Feed processes the next event in trace order.
+func (an *Analyzer) Feed(ev Event) {
+	a := an.a
+	i := an.i
+	an.i++
+	switch ev.Kind {
+	case KindAlloc:
+		a.SiteAllocs[ev.Site]++
+		obj := &Object{
+			ID:        mem.ObjectID(len(a.Objects) + 1),
+			Site:      ev.Site,
+			Stack:     ev.Stack,
+			Instance:  mem.Instance(a.SiteAllocs[ev.Site]),
+			Size:      ev.Size,
+			FinalSize: ev.Size,
+			Addr:      ev.Addr,
+			AllocAt:   i,
+			FreeAt:    -1,
+		}
+		a.Objects = append(a.Objects, obj)
+		a.SiteObjects[ev.Site] = append(a.SiteObjects[ev.Site], obj.ID)
+		an.idx.insert(ev.Addr, ev.Size, obj)
+		an.live++
+		an.siteLive[ev.Site]++
+		if an.live > a.MaxLive {
+			a.MaxLive = an.live
+		}
+		if an.siteLive[ev.Site] > a.SiteMaxLive[ev.Site] {
+			a.SiteMaxLive[ev.Site] = an.siteLive[ev.Site]
+		}
+	case KindFree:
+		if obj := an.idx.remove(ev.Addr); obj != nil {
+			obj.FreeAt = i
+			an.live--
+			an.siteLive[obj.Site]--
+		}
+	case KindRealloc:
+		if obj := an.idx.remove(ev.Addr); obj != nil {
+			obj.FinalSize = ev.Size
+			obj.Addr = ev.Addr2
+			an.idx.insert(ev.Addr2, ev.Size, obj)
+		}
+	case KindAccess:
+		a.TotalAccesses++
+		if obj := an.idx.find(ev.Addr); obj != nil {
+			a.HeapAccesses++
+			obj.Accesses++
+			if ev.Write {
+				obj.Writes++
+			} else {
+				obj.Reads++
 			}
-			a.Objects = append(a.Objects, obj)
-			a.SiteObjects[ev.Site] = append(a.SiteObjects[ev.Site], obj.ID)
-			idx.insert(ev.Addr, ev.Size, obj)
-			live++
-			siteLive[ev.Site]++
-			if live > a.MaxLive {
-				a.MaxLive = live
-			}
-			if siteLive[ev.Site] > a.SiteMaxLive[ev.Site] {
-				a.SiteMaxLive[ev.Site] = siteLive[ev.Site]
-			}
-		case KindFree:
-			if obj := idx.remove(ev.Addr); obj != nil {
-				obj.FreeAt = i
-				live--
-				siteLive[obj.Site]--
-			}
-		case KindRealloc:
-			if obj := idx.remove(ev.Addr); obj != nil {
-				obj.FinalSize = ev.Size
-				obj.Addr = ev.Addr2
-				idx.insert(ev.Addr2, ev.Size, obj)
-			}
-		case KindAccess:
-			a.TotalAccesses++
-			if obj := idx.find(ev.Addr); obj != nil {
-				a.HeapAccesses++
-				obj.Accesses++
-				if ev.Write {
-					obj.Writes++
-				} else {
-					obj.Reads++
-				}
-				a.Refs = append(a.Refs, obj.ID)
-				a.RefAt = append(a.RefAt, i)
-			}
+			a.Refs = append(a.Refs, obj.ID)
+			a.RefAt = append(a.RefAt, i)
 		}
 	}
-	return a
+}
+
+// SetInstr records the traced run's dynamic instruction count.
+func (an *Analyzer) SetInstr(n uint64) { an.a.Instr = n }
+
+// Finish returns the completed analysis. The analyzer must not be fed
+// after.
+func (an *Analyzer) Finish() *Analysis {
+	an.a.Events = an.i
+	return an.a
+}
+
+// Analyze reconstructs dynamic objects and the object-granular reference
+// string from an in-memory trace.
+func Analyze(t *Trace) *Analysis {
+	an := NewAnalyzer()
+	for _, ev := range t.Events {
+		an.Feed(ev)
+	}
+	an.SetInstr(t.Instr)
+	return an.Finish()
 }
 
 // Object returns the object with the given id, or nil.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 
@@ -144,6 +145,46 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 		if got.Events[i] != tr.Events[i] {
 			t.Fatalf("event %d: got %+v want %+v", i, got.Events[i], tr.Events[i])
 		}
+	}
+}
+
+func TestDecodeDoctoredEventCount(t *testing.T) {
+	// A header may claim any event count — it is untrusted input. A
+	// doctored count of 2^40 followed by a truncated body must fail
+	// cleanly without preallocating the claimed amount.
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	w := func(v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	w(version) // version
+	w(0)       // instr
+	w(1 << 40) // eventCount: absurd
+	buf.WriteByte(byte(KindFree))
+	buf.WriteByte(0) // one real event, then EOF
+	tr, err := Read(&buf)
+	if err == nil {
+		t.Fatalf("doctored header accepted: %d events", len(tr.Events))
+	}
+}
+
+func TestDecodeDoctoredCountBoundsPrealloc(t *testing.T) {
+	var buf bytes.Buffer
+	if err := record().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.capHint(); got != len(record().Events) {
+		t.Errorf("capHint = %d, want declared count %d", got, len(record().Events))
+	}
+	// Forge a reader with a hostile declared count; the hint must cap.
+	sr.declared = 1 << 40
+	if got := sr.capHint(); got != maxPreallocEvents {
+		t.Errorf("capHint = %d, want cap %d", got, maxPreallocEvents)
 	}
 }
 

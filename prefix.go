@@ -18,6 +18,8 @@
 package prefix
 
 import (
+	"io"
+
 	"prefix/internal/baselines"
 	"prefix/internal/cachesim"
 	"prefix/internal/hotness"
@@ -161,16 +163,53 @@ type (
 	Trace = trace.Trace
 	// Analysis is the object-level reconstruction of a trace.
 	Analysis = trace.Analysis
-	// Recorder accumulates trace events during a profiling run.
+	// Recorder accumulates trace events in memory during a profiling run.
 	Recorder = trace.Recorder
 )
 
-// NewRecorder returns an empty trace recorder.
+// Streaming re-exports: the bounded-memory trace architecture. A
+// TraceSource pulls events one at a time, a TraceSink consumes them, and
+// the spill recorder keeps profiling runs within a fixed event budget by
+// streaming chunks to a backing writer (see DESIGN.md "Streaming trace
+// architecture").
+type (
+	// TraceSource is a pull iterator over an event stream.
+	TraceSource = trace.Source
+	// TraceSink is an incremental consumer of an event stream.
+	TraceSink = trace.Sink
+	// EventRecorder is the recorder interface a tracing machine feeds;
+	// *Recorder and *SpillRecorder both implement it.
+	EventRecorder = trace.EventRecorder
+	// SpillRecorder records a profiling run within a bounded event
+	// budget, spilling chunks to a backing writer.
+	SpillRecorder = trace.SpillRecorder
+	// TraceAnalyzer reconstructs an Analysis incrementally (Feed each
+	// event, then Finish).
+	TraceAnalyzer = trace.Analyzer
+)
+
+// NewRecorder returns an empty in-memory trace recorder.
 func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// NewSpillRecorder returns a bounded-memory recorder that streams
+// chunks of at most chunkEvents events into w (chunkEvents < 1 selects
+// the default budget). Close it before reading the stream back.
+func NewSpillRecorder(w io.Writer, chunkEvents int) (*SpillRecorder, error) {
+	return trace.NewSpillRecorder(w, chunkEvents)
+}
+
+// OpenTraceStream returns a pull iterator over a trace file written by
+// Trace.Write or a spill recorder, decoding incrementally so the trace
+// is never materialized.
+func OpenTraceStream(r io.Reader) (TraceSource, error) { return trace.NewStreamReader(r) }
 
 // Analyze reconstructs dynamic objects and the reference string from a
 // recorded trace.
 func Analyze(t *Trace) *Analysis { return trace.Analyze(t) }
+
+// AnalyzeSource is Analyze over a pull iterator: single-pass and
+// bounded-memory, with an identical result for the same events.
+func AnalyzeSource(src TraceSource) (*Analysis, error) { return trace.AnalyzeSource(src) }
 
 // NewBaselineAllocator returns the plain-heap strategy.
 func NewBaselineAllocator(cfg CacheConfig) MachineAllocator {
@@ -186,8 +225,9 @@ func NewPreFixAllocator(plan *Plan, cfg CacheConfig) *Allocator {
 // programs run against it as their Env.
 type Machine = machine.Machine
 
-// NewMachine builds a machine. Pass a non-nil recorder to trace the run.
-func NewMachine(alloc MachineAllocator, cfg CacheConfig, rec *Recorder) *Machine {
+// NewMachine builds a machine. Pass a non-nil recorder (in-memory or
+// spill-to-disk) to trace the run.
+func NewMachine(alloc MachineAllocator, cfg CacheConfig, rec EventRecorder) *Machine {
 	if rec != nil {
 		return machine.New(alloc, cfg, machine.WithRecorder(rec))
 	}
