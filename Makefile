@@ -8,7 +8,7 @@ GO ?= go
 # benchmarks at reduced scale through the worker pool.
 SMOKE_ARGS = -scale bench -jobs 4 -only table3 -bench mcf,health
 
-.PHONY: check fmt vet lint build test test-short race bench bench-smoke bench-baseline bench-gate stream-smoke clean
+.PHONY: check fmt vet lint build test test-short race bench bench-smoke bench-baseline bench-gate stream-smoke perf-smoke clean
 
 check: fmt vet lint build race
 
@@ -55,6 +55,18 @@ bench-baseline:
 # committed baseline. The threshold is generous because CI only needs to
 # catch breakage, not noise (the simulation itself is deterministic).
 bench-gate:
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) \
+		-baseline testdata/bench-smoke-baseline.json -regress-pct 50
+
+# Host-cost smoke gate: the perfstat end-to-end tests (every suite job
+# carries a host sample; events/sec > 0; cost attribution tracks scale;
+# attaching the collector leaves the report byte-identical and costs
+# < 2% wall), then the baseline diff — schema-v2 baselines carry host
+# fields, so an events/sec collapse past the slack-adjusted threshold
+# fails the gate alongside the simulated metrics.
+perf-smoke:
+	$(GO) test ./internal/pipeline -run 'TestPerfSmoke|TestPerfScaleMonotone' -count=1
+	$(GO) test ./cmd/prefix-bench -run TestPerfParityAndOverhead -count=1
 	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) \
 		-baseline testdata/bench-smoke-baseline.json -regress-pct 50
 

@@ -84,6 +84,8 @@ func run() (err error) {
 
 	root := sess.Tracer.Start("analyze " + *bench)
 	defer root.End()
+	perfScope := sess.Perf.Begin("analyze").AttachSpan(root)
+	defer perfScope.End()
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -126,6 +128,8 @@ func run() (err error) {
 		anSpan.Set("heap_accesses", a.HeapAccesses)
 		anSpan.End()
 	}
+
+	perfScope.AddEvents(uint64(a.Events))
 
 	planSpan := root.Child("plan " + v.String())
 	cfg.Trace = planSpan

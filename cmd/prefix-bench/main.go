@@ -160,6 +160,7 @@ func run() (err error) {
 	opt.Progress = sess.Progress()
 	opt.Metrics = sess.Metrics
 	opt.Tracer = sess.Tracer
+	opt.Perf = sess.Perf
 	opt.Stream = *stream
 	opt.StreamChunkEvents = *streamChunk
 

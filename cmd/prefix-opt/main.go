@@ -81,6 +81,7 @@ func run() (err error) {
 	opt.Progress = sess.Progress()
 	opt.Metrics = sess.Metrics
 	opt.Tracer = sess.Tracer
+	opt.Perf = sess.Perf
 	opt.Stream = *stream
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -27,6 +27,7 @@ import (
 	"prefix/internal/cachesim"
 	"prefix/internal/machine"
 	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
 	"prefix/internal/obsflags"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
@@ -119,8 +120,10 @@ func run(args []string, stdout io.Writer) (err error) {
 
 	root := sess.Tracer.Start("trace " + *bench)
 	defer root.End()
+	perfScope := sess.Perf.Begin("trace").AttachSpan(root)
+	defer perfScope.End()
 	if *stream {
-		return runStreaming(stdout, f, spec, cfg, *bench, *chunkEvents, sess, root)
+		return runStreaming(stdout, f, spec, cfg, *bench, *chunkEvents, sess, root, perfScope)
 	}
 
 	runSpan := root.Child("profile-run")
@@ -131,6 +134,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	tr := rec.Trace()
 	runSpan.Set("events", len(tr.Events))
 	runSpan.End()
+	perfScope.AddEvents(rec.Stats().Events)
 	metrics.Publish(sess.Metrics, "benchmark", *bench, "run", "trace")
 
 	writeSpan := root.Child("write-trace")
@@ -165,7 +169,7 @@ func run(args []string, stdout io.Writer) (err error) {
 // runStreaming records the run through the spill recorder directly into
 // the (already created) output file. The caller closes the file.
 func runStreaming(stdout io.Writer, f *os.File, spec workloads.Spec, cfg workloads.Config,
-	bench string, chunkEvents int, sess *obsflags.Session, root *obs.Span) error {
+	bench string, chunkEvents int, sess *obsflags.Session, root *obs.Span, perfScope *perfstat.Scope) error {
 	runSpan := root.Child("profile-run")
 	rec, err := trace.NewSpillRecorder(f, chunkEvents)
 	if err != nil {
@@ -184,6 +188,7 @@ func runStreaming(stdout io.Writer, f *os.File, spec workloads.Spec, cfg workloa
 	runSpan.Set("chunks", stats.Chunks)
 	runSpan.Set("peak_buffered_events", stats.PeakBufferedEvents)
 	runSpan.End()
+	perfScope.AddEvents(stats.Events)
 
 	metrics.Publish(sess.Metrics, "benchmark", bench, "run", "trace")
 	if reg := sess.Metrics; reg != nil {

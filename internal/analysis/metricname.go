@@ -16,6 +16,13 @@ import (
 // name+labels map lookup is cheap but not free, and the hot simulation
 // loops must not pay it per iteration).
 //
+// The prefix_perf_ family (the perfstat host-cost series) additionally
+// requires an explicit unit suffix, so host-cost dashboards never have
+// to guess whether a number is nanoseconds, bytes, or a rate: counters
+// end in <unit>_total (nanos/bytes/events/allocs/cycles/scopes/samples),
+// gauges end in a rate or unit word (per_sec/goroutines/bytes/nanos/
+// ratio/count), histograms in seconds/nanos/bytes.
+//
 // A lookup inside a loop is fine when its arguments depend on the loop
 // (a per-benchmark or per-variant label set selects a different series
 // each iteration); a loop-invariant lookup should be hoisted.
@@ -28,6 +35,16 @@ var Metricname = &Analyzer{
 
 // metricNameRE: sanctioned namespace, then snake_case words.
 var metricNameRE = regexp.MustCompile(`^(prefix|pipeline|analysis)_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// perfFamilyPrefix marks the host-cost series with unit-suffix rules.
+const perfFamilyPrefix = "prefix_perf_"
+
+// perf-family unit suffixes, per instrument kind.
+var (
+	perfCounterRE   = regexp.MustCompile(`_(nanos|bytes|events|allocs|cycles|scopes|samples)_total$`)
+	perfGaugeRE     = regexp.MustCompile(`_(per_sec|goroutines|bytes|nanos|ratio|count)$`)
+	perfHistogramRE = regexp.MustCompile(`_(seconds|nanos|bytes)$`)
+)
 
 // isRegistryMethod reports whether call is obs.Registry.Counter/Gauge/
 // Histogram and returns the method name.
@@ -94,6 +111,8 @@ func checkMetricCall(pass *Pass, call *ast.CallExpr, method string, stack []ast.
 		case method != "Counter" && strings.HasSuffix(name, "_total"):
 			pass.Reportf(nameArg.Pos(), "%s %q must not end in _total; that suffix is reserved for counters",
 				strings.ToLower(method), name)
+		case strings.HasPrefix(name, perfFamilyPrefix):
+			checkPerfFamily(pass, nameArg, method, name)
 		}
 	}
 
@@ -111,6 +130,29 @@ func checkMetricCall(pass *Pass, call *ast.CallExpr, method string, stack []ast.
 	}
 	pass.Reportf(call.Pos(),
 		"loop-invariant %s lookup inside a loop; hoist the instrument out of the loop", method)
+}
+
+// checkPerfFamily applies the unit-suffix rules to prefix_perf_ series.
+// The general rules have already passed, so a Counter here is known to
+// end in _total; what's checked is the unit word in front of it.
+func checkPerfFamily(pass *Pass, nameArg ast.Expr, method, name string) {
+	switch method {
+	case "Counter":
+		if !perfCounterRE.MatchString(name) {
+			pass.Reportf(nameArg.Pos(),
+				"perf counter %q must name its unit before _total (nanos/bytes/events/allocs/cycles/scopes/samples)", name)
+		}
+	case "Gauge":
+		if !perfGaugeRE.MatchString(name) {
+			pass.Reportf(nameArg.Pos(),
+				"perf gauge %q must end in a rate or unit suffix (per_sec/goroutines/bytes/nanos/ratio/count)", name)
+		}
+	case "Histogram":
+		if !perfHistogramRE.MatchString(name) {
+			pass.Reportf(nameArg.Pos(),
+				"perf histogram %q must end in a unit suffix (seconds/nanos/bytes)", name)
+		}
+	}
 }
 
 // enclosingLoop returns the innermost for/range statement enclosing the

@@ -32,6 +32,34 @@ func badGaugeSuffix(reg *obs.Registry) {
 	reg.Gauge("prefix_live_bytes_total").Set(1) // want `reserved for counters`
 }
 
+// perfGood covers the prefix_perf_ host-cost family: counters name a
+// unit before _total, gauges a rate or unit word, histograms a unit.
+func perfGood(reg *obs.Registry) {
+	reg.Counter("prefix_perf_scopes_total").Inc()
+	reg.Counter("prefix_perf_wall_nanos_total").Inc()
+	reg.Counter("prefix_perf_alloc_bytes_total").Inc()
+	reg.Counter("prefix_perf_events_total").Inc()
+	reg.Counter("prefix_perf_gc_cycles_total").Inc()
+	reg.Gauge("prefix_perf_events_per_sec").Set(1)
+	reg.Gauge("prefix_perf_goroutines").Set(1)
+	reg.Histogram("prefix_perf_scope_seconds", obs.TimeBuckets).Observe(0.1)
+}
+
+// perfBadCounterUnit ends in _total but names no unit.
+func perfBadCounterUnit(reg *obs.Registry) {
+	reg.Counter("prefix_perf_gcs_total").Inc() // want `must name its unit before _total`
+}
+
+// perfBadGaugeUnit carries no rate or unit suffix.
+func perfBadGaugeUnit(reg *obs.Registry) {
+	reg.Gauge("prefix_perf_throughput").Set(1) // want `must end in a rate or unit suffix`
+}
+
+// perfBadHistogramUnit carries no unit suffix.
+func perfBadHistogramUnit(reg *obs.Registry) {
+	reg.Histogram("prefix_perf_scope_wall", obs.TimeBuckets).Observe(0.1) // want `must end in a unit suffix`
+}
+
 // dynamic builds the name at run time.
 func dynamic(reg *obs.Registry, name string) {
 	reg.Counter(name).Inc() // want `compile-time constant`

@@ -4,7 +4,10 @@
 // diffed against a recorded baseline — the bench suite's CI-enforceable
 // regression gate. The tracked metrics are the evaluation's headline
 // numbers: best-variant cycles, cache miss rates, baseline pollution,
-// PreFix capture precision, and peak memory.
+// PreFix capture precision, and peak memory — plus, since schema 2, the
+// per-benchmark host cost (wall time, events/sec throughput, heap
+// allocation, GC pauses), so the simulator's own performance trajectory
+// is gated alongside the simulated results.
 package benchstore
 
 import (
@@ -23,7 +26,13 @@ import (
 )
 
 // Schema is the document version; bump on incompatible field changes.
-const Schema = 1
+// Version 2 added the per-benchmark "host" section; version 1 documents
+// (no host stats) still load, so old baselines keep gating the simulated
+// metrics.
+const Schema = 2
+
+// minReadSchema is the oldest document version Read still accepts.
+const minReadSchema = 1
 
 // Run is one recorded suite run.
 type Run struct {
@@ -58,6 +67,21 @@ type Benchmark struct {
 	// (mallocs avoided / (mallocs avoided + fallbacks)), in percent.
 	CapturePct float64 `json:"capture_pct"`
 	PeakBytes  uint64  `json:"peak_bytes"`
+	// Host is the benchmark job's measured host cost (schema 2; nil in
+	// v1 documents and in runs recorded without a perfstat collector).
+	Host *HostStats `json:"host,omitempty"`
+}
+
+// HostStats is the per-benchmark host-cost section: what the simulator
+// itself spent evaluating the benchmark, as measured by perfstat.
+type HostStats struct {
+	WallNanos    int64   `json:"wall_nanos"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	GCPauseNanos uint64  `json:"gc_pause_nanos"`
+	Goroutines   int     `json:"goroutines,omitempty"`
 }
 
 // Meta is the run-level metadata recorded alongside the results.
@@ -103,6 +127,17 @@ func FromComparisons(cmps []*pipeline.Comparison, meta Meta) *Run {
 				b.CapturePct = 100 * float64(cap.MallocsAvoided) / float64(total)
 			}
 		}
+		if h := c.Host; h != nil {
+			b.Host = &HostStats{
+				WallNanos:    h.WallNanos,
+				Events:       h.Events,
+				EventsPerSec: h.EventsPerSec(),
+				Allocs:       h.Allocs,
+				AllocBytes:   h.AllocBytes,
+				GCPauseNanos: h.GCPauseNanos,
+				Goroutines:   h.Goroutines,
+			}
+		}
 		run.Benchmarks = append(run.Benchmarks, b)
 	}
 	return run
@@ -146,15 +181,18 @@ func (r *Run) WriteFile(path string) error {
 	return werr
 }
 
-// Read parses a run document, rejecting unknown schema versions.
+// Read parses a run document, rejecting unknown schema versions. Every
+// version from minReadSchema through Schema loads: a v1 baseline simply
+// has no host sections, and gating degrades gracefully (host metrics
+// only gate once a baseline records them).
 func Read(rd io.Reader) (*Run, error) {
 	var run Run
 	dec := json.NewDecoder(rd)
 	if err := dec.Decode(&run); err != nil {
 		return nil, fmt.Errorf("benchstore: %w", err)
 	}
-	if run.Schema != Schema {
-		return nil, fmt.Errorf("benchstore: unsupported schema %d (want %d)", run.Schema, Schema)
+	if run.Schema < minReadSchema || run.Schema > Schema {
+		return nil, fmt.Errorf("benchstore: unsupported schema %d (want %d..%d)", run.Schema, minReadSchema, Schema)
 	}
 	return &run, nil
 }
@@ -169,23 +207,51 @@ func ReadFile(path string) (*Run, error) {
 	return Read(f)
 }
 
-// metric is one gated series: its name, direction, and accessor.
+// metric is one gated series: its name, direction, threshold slack, and
+// accessor.
 type metric struct {
 	name        string
 	higherWorse bool // false: lower is worse (e.g. capture precision)
-	get         func(Benchmark) float64
+	// slack multiplies the gate threshold for this metric (0 = 1×). The
+	// simulated metrics are deterministic, so they gate at the raw
+	// threshold; host-measured metrics vary with the machine and get
+	// headroom so hardware differences don't gate while order-of-
+	// magnitude collapses still do.
+	slack float64
+	get   func(Benchmark) float64
+}
+
+// threshold returns the metric's effective gate threshold.
+func (m metric) threshold(regressPct float64) float64 {
+	if m.slack > 0 {
+		return regressPct * m.slack
+	}
+	return regressPct
 }
 
 // tracked is the regression-gated metric set.
 var tracked = []metric{
-	{"baseline_cycles", true, func(b Benchmark) float64 { return b.BaselineCycles }},
-	{"best_cycles", true, func(b Benchmark) float64 { return b.BestCycles }},
-	{"l1_miss_pct", true, func(b Benchmark) float64 { return b.L1MissPct }},
-	{"llc_miss_pct", true, func(b Benchmark) float64 { return b.LLCMissPct }},
-	{"hds_spurious", true, func(b Benchmark) float64 { return float64(b.HDSSpurious) }},
-	{"halo_spurious", true, func(b Benchmark) float64 { return float64(b.HALOSpurious) }},
-	{"capture_pct", false, func(b Benchmark) float64 { return b.CapturePct }},
-	{"peak_bytes", true, func(b Benchmark) float64 { return float64(b.PeakBytes) }},
+	{name: "baseline_cycles", higherWorse: true, get: func(b Benchmark) float64 { return b.BaselineCycles }},
+	{name: "best_cycles", higherWorse: true, get: func(b Benchmark) float64 { return b.BestCycles }},
+	{name: "l1_miss_pct", higherWorse: true, get: func(b Benchmark) float64 { return b.L1MissPct }},
+	{name: "llc_miss_pct", higherWorse: true, get: func(b Benchmark) float64 { return b.LLCMissPct }},
+	{name: "hds_spurious", higherWorse: true, get: func(b Benchmark) float64 { return float64(b.HDSSpurious) }},
+	{name: "halo_spurious", higherWorse: true, get: func(b Benchmark) float64 { return float64(b.HALOSpurious) }},
+	{name: "capture_pct", higherWorse: false, get: func(b Benchmark) float64 { return b.CapturePct }},
+	{name: "peak_bytes", higherWorse: true, get: func(b Benchmark) float64 { return float64(b.PeakBytes) }},
+	// events_per_sec is the schema-2 host throughput: lower is worse. A
+	// v1 baseline (no host section) reads as 0, and a higher current
+	// value is an improvement, so old baselines never gate on it. The
+	// 1.5× slack keeps the effective threshold meaningful for a metric
+	// whose drop maxes out at 100%: at the smoke gate's -regress-pct 50
+	// it takes a 75% throughput drop (a 4× slowdown, past any plausible
+	// machine-to-machine variance) to fail.
+	{name: "events_per_sec", higherWorse: false, slack: 1.5, get: func(b Benchmark) float64 {
+		if b.Host == nil {
+			return 0
+		}
+		return b.Host.EventsPerSec
+	}},
 }
 
 // Regression is one tracked metric that degraded past the threshold, or
@@ -201,11 +267,19 @@ type Regression struct {
 	// Missing marks a benchmark recorded in the baseline but absent
 	// from the current run.
 	Missing bool
+	// New marks a benchmark present in the current run but absent from
+	// the baseline. New entries are informational — Gate reports them
+	// without failing, since an addition is not a regression — but they
+	// surface unrecorded coverage so the baseline gets refreshed.
+	New bool
 }
 
 func (r Regression) String() string {
 	if r.Missing {
 		return fmt.Sprintf("%s: missing from run (present in baseline)", r.Benchmark)
+	}
+	if r.New {
+		return fmt.Sprintf("%s: not in baseline (new in run; refresh the baseline to track it)", r.Benchmark)
 	}
 	change := fmt.Sprintf("%+.2f%%", r.ChangePct)
 	if math.IsInf(r.ChangePct, 1) {
@@ -215,19 +289,23 @@ func (r Regression) String() string {
 }
 
 // Compare diffs current against baseline and returns every tracked
-// metric that degraded by more than regressPct percent, plus any
-// benchmark missing from the current run. Benchmarks new in the current
-// run are ignored (additions are not regressions). Results are ordered
-// by benchmark name, then tracked-metric order.
+// metric that degraded by more than regressPct percent (scaled by the
+// metric's slack for host-measured series), plus any benchmark missing
+// from the current run and — flagged New — any benchmark present in the
+// run but absent from the baseline. Results are ordered by baseline
+// benchmark name then tracked-metric order, with New entries appended
+// (sorted by name) at the end.
 func Compare(baseline, current *Run, regressPct float64) []Regression {
 	byName := make(map[string]Benchmark, len(current.Benchmarks))
 	for _, b := range current.Benchmarks {
 		byName[b.Name] = b
 	}
+	inBaseline := make(map[string]bool, len(baseline.Benchmarks))
 	base := append([]Benchmark(nil), baseline.Benchmarks...)
 	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
 	var regs []Regression
 	for _, bb := range base {
+		inBaseline[bb.Name] = true
 		cb, ok := byName[bb.Name]
 		if !ok {
 			regs = append(regs, Regression{Benchmark: bb.Name, Missing: true})
@@ -236,13 +314,23 @@ func Compare(baseline, current *Run, regressPct float64) []Regression {
 		for _, m := range tracked {
 			bv, cv := m.get(bb), m.get(cb)
 			change, worse := degradation(bv, cv, m.higherWorse)
-			if worse && change > regressPct {
+			if worse && change > m.threshold(regressPct) {
 				regs = append(regs, Regression{
 					Benchmark: bb.Name, Metric: m.name,
 					Baseline: bv, Current: cv, ChangePct: change,
 				})
 			}
 		}
+	}
+	var added []string
+	for _, cb := range current.Benchmarks {
+		if !inBaseline[cb.Name] {
+			added = append(added, cb.Name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		regs = append(regs, Regression{Benchmark: name, New: true})
 	}
 	return regs
 }
@@ -271,21 +359,27 @@ func Gate(w io.Writer, baseline, current *Run, regressPct float64) error {
 	fmt.Fprintf(w, "regression gate: run vs baseline %s (git %s, %d benchmarks), threshold +%g%%\n",
 		baseline.Timestamp, orNone(baseline.GitSHA), len(baseline.Benchmarks), regressPct)
 	regs := Compare(baseline, current, regressPct)
-	if len(regs) == 0 {
+	var names []string
+	for _, r := range regs {
+		switch {
+		case r.New:
+			// Informational: an added benchmark is not a regression, but
+			// it is untracked coverage until the baseline is refreshed.
+			fmt.Fprintf(w, "  NEW        %s\n", r)
+		case r.Missing:
+			fmt.Fprintf(w, "  REGRESSED  %s\n", r)
+			names = append(names, r.Benchmark+" (missing)")
+		default:
+			fmt.Fprintf(w, "  REGRESSED  %s\n", r)
+			names = append(names, r.Benchmark+" "+r.Metric)
+		}
+	}
+	if len(names) == 0 {
 		fmt.Fprintf(w, "  ok: no tracked metric regressed more than %g%%\n", regressPct)
 		return nil
 	}
-	names := make([]string, len(regs))
-	for i, r := range regs {
-		fmt.Fprintf(w, "  REGRESSED  %s\n", r)
-		if r.Missing {
-			names[i] = r.Benchmark + " (missing)"
-		} else {
-			names[i] = r.Benchmark + " " + r.Metric
-		}
-	}
 	return fmt.Errorf("benchstore: %d regression(s) past %g%%: %s",
-		len(regs), regressPct, strings.Join(names, ", "))
+		len(names), regressPct, strings.Join(names, ", "))
 }
 
 func orNone(s string) string {

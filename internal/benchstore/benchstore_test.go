@@ -12,6 +12,7 @@ import (
 	"prefix/internal/baselines"
 	"prefix/internal/cachesim"
 	"prefix/internal/machine"
+	"prefix/internal/obs/perfstat"
 	"prefix/internal/pipeline"
 	"prefix/internal/prefix"
 )
@@ -30,11 +31,19 @@ func sampleRun() *Run {
 				Name: "mcf", BaselineCycles: 1000, BestVariant: "hds+hot",
 				BestCycles: 900, TimeDeltaPct: -10, L1MissPct: 5, LLCMissPct: 0.5,
 				HDSSpurious: 12, HALOSpurious: 3, CapturePct: 95, PeakBytes: 1 << 20,
+				Host: &HostStats{
+					WallNanos: 2_000_000_000, Events: 500_000_000, EventsPerSec: 250e6,
+					Allocs: 1_000_000, AllocBytes: 64 << 20, GCPauseNanos: 3_000_000, Goroutines: 8,
+				},
 			},
 			{
 				Name: "health", BaselineCycles: 500, BestVariant: "hot",
 				BestCycles: 480, TimeDeltaPct: -4, L1MissPct: 2, LLCMissPct: 0.1,
 				CapturePct: 80, PeakBytes: 1 << 18,
+				Host: &HostStats{
+					WallNanos: 500_000_000, Events: 100_000_000, EventsPerSec: 200e6,
+					Allocs: 200_000, AllocBytes: 8 << 20, GCPauseNanos: 1_000_000, Goroutines: 8,
+				},
 			},
 		},
 	}
@@ -75,6 +84,41 @@ func TestReadRejectsSchema(t *testing.T) {
 	if _, err := Read(in); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Errorf("Read(schema 99) = %v, want unsupported-schema error", err)
 	}
+	in = strings.NewReader(`{"schema": 0, "benchmarks": []}`)
+	if _, err := Read(in); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("Read(schema 0) = %v, want unsupported-schema error", err)
+	}
+}
+
+// TestReadV1Compat: a schema-1 baseline (recorded before the host
+// section existed) must still load, with nil Host sections.
+func TestReadV1Compat(t *testing.T) {
+	in := strings.NewReader(`{
+		"schema": 1,
+		"timestamp": "2026-08-01T00:00:00Z",
+		"goos": "linux", "goarch": "amd64", "jobs": 4, "scale": "bench",
+		"benchmarks": [
+			{"name": "mcf", "baseline_cycles": 1000, "best_variant": "hot",
+			 "best_cycles": 900, "time_delta_pct": -10, "l1_miss_pct": 5,
+			 "llc_miss_pct": 0.5, "hds_spurious": 12, "halo_spurious": 3,
+			 "capture_pct": 95, "peak_bytes": 1048576}
+		]
+	}`)
+	run, err := Read(in)
+	if err != nil {
+		t.Fatalf("Read(v1 doc) = %v, want success", err)
+	}
+	if run.Schema != 1 || len(run.Benchmarks) != 1 {
+		t.Fatalf("v1 doc = schema %d, %d benchmarks", run.Schema, len(run.Benchmarks))
+	}
+	if run.Benchmarks[0].Host != nil {
+		t.Errorf("v1 benchmark Host = %+v, want nil", run.Benchmarks[0].Host)
+	}
+	// And a v1 baseline gates a v2 run without spurious events_per_sec
+	// verdicts: the run's higher throughput is an improvement.
+	if regs := Compare(run, sampleRun(), 5); len(regs) != 1 || !regs[0].New || regs[0].Benchmark != "health" {
+		t.Errorf("v1-baseline Compare = %+v, want only health flagged New", regs)
+	}
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
@@ -112,6 +156,10 @@ func TestFromComparisons(t *testing.T) {
 			prefix.VariantHDSHot: withCapture(result(900, 100, 4, 1, 1<<20), 90, 10),
 		},
 		Best: prefix.VariantHDSHot,
+		Host: &perfstat.Sample{
+			Phase: "suite", WallNanos: 1_000_000_000, Events: 250_000_000,
+			Allocs: 42, AllocBytes: 4096, GCPauseNanos: 777, Goroutines: 6,
+		},
 	}
 	meta := Meta{
 		Timestamp: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
@@ -145,6 +193,33 @@ func TestFromComparisons(t *testing.T) {
 	}
 	if b.PeakBytes != 1<<20 {
 		t.Errorf("PeakBytes = %d, want %d", b.PeakBytes, 1<<20)
+	}
+	if b.Host == nil {
+		t.Fatal("Host section missing from snapshot")
+	}
+	want := HostStats{
+		WallNanos: 1_000_000_000, Events: 250_000_000, EventsPerSec: 250e6,
+		Allocs: 42, AllocBytes: 4096, GCPauseNanos: 777, Goroutines: 6,
+	}
+	if *b.Host != want {
+		t.Errorf("Host = %+v, want %+v", *b.Host, want)
+	}
+}
+
+// TestFromComparisonsNoHost: a run recorded without a perfstat collector
+// omits the host section rather than writing zeros.
+func TestFromComparisonsNoHost(t *testing.T) {
+	cmp := &pipeline.Comparison{
+		Benchmark: "mcf",
+		Baseline:  result(1000, 100, 5, 1, 0),
+		PreFix: map[prefix.Variant]pipeline.RunResult{
+			prefix.VariantHot: result(900, 100, 4, 1, 1<<20),
+		},
+		Best: prefix.VariantHot,
+	}
+	run := FromComparisons([]*pipeline.Comparison{cmp}, Meta{Timestamp: time.Unix(0, 0)})
+	if run.Benchmarks[0].Host != nil {
+		t.Errorf("Host = %+v, want nil without a collector", run.Benchmarks[0].Host)
 	}
 }
 
@@ -219,12 +294,41 @@ func TestCompare(t *testing.T) {
 			[]string{"health (missing)"},
 		},
 		{
-			"added benchmark ignored",
+			"added benchmark reported as new, never as a regression",
 			func(r *Run) {
-				r.Benchmarks = append(r.Benchmarks, Benchmark{Name: "new", BestCycles: 1e9})
+				r.Benchmarks = append(r.Benchmarks, Benchmark{Name: "extra", BestCycles: 1e9})
 			},
 			5,
+			[]string{"extra (new)"},
+		},
+		{
+			"events/sec regression past slack threshold",
+			// -80% throughput: past 20% * 1.5x slack = 30%.
+			func(r *Run) { r.Benchmarks[0].Host.EventsPerSec = 50e6 },
+			20,
+			[]string{"mcf events_per_sec"},
+		},
+		{
+			"events/sec drop inside slack headroom",
+			// -25% throughput: machine variance headroom, under the 30%
+			// effective threshold even though 25 > 20.
+			func(r *Run) { r.Benchmarks[0].Host.EventsPerSec = 187.5e6 },
+			20,
 			nil,
+		},
+		{
+			"events/sec improvement never gates",
+			func(r *Run) { r.Benchmarks[0].Host.EventsPerSec = 900e6 },
+			0,
+			nil,
+		},
+		{
+			"host section lost from run gates at full drop",
+			// A v2 baseline with host stats vs a run that lost them reads
+			// as a 100% throughput drop — past every slacked threshold.
+			func(r *Run) { r.Benchmarks[0].Host = nil; r.Benchmarks[1].Host = nil },
+			20,
+			[]string{"health events_per_sec", "mcf events_per_sec"},
 		},
 		{
 			"multiple regressions ordered by benchmark then metric",
@@ -244,9 +348,12 @@ func TestCompare(t *testing.T) {
 			regs := Compare(base, cur, c.pct)
 			var got []string
 			for _, r := range regs {
-				if r.Missing {
+				switch {
+				case r.Missing:
 					got = append(got, r.Benchmark+" (missing)")
-				} else {
+				case r.New:
+					got = append(got, r.Benchmark+" (new)")
+				default:
 					got = append(got, r.Benchmark+" "+r.Metric)
 				}
 			}
@@ -309,5 +416,46 @@ func TestGateClean(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "ok: no tracked metric regressed") {
 		t.Errorf("clean gate output missing ok line:\n%s", out.String())
+	}
+}
+
+// TestGateEventsPerSecRegression is the acceptance demonstration for the
+// CI smoke gate: a seeded events/sec collapse fails Gate with an error
+// naming the benchmark and the throughput metric.
+func TestGateEventsPerSecRegression(t *testing.T) {
+	base := sampleRun()
+	cur := sampleRun()
+	cur.Benchmarks[0].Host.EventsPerSec = 10e6 // mcf 250M/s -> 10M/s
+	cur.Benchmarks[0].Host.WallNanos = 50_000_000_000
+	var out bytes.Buffer
+	err := Gate(&out, base, cur, 50)
+	if err == nil {
+		t.Fatal("Gate(seeded events/sec regression) = nil, want error")
+	}
+	for _, want := range []string{"mcf", "events_per_sec"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error %q does not name %q", err, want)
+		}
+	}
+	if !strings.Contains(out.String(), "REGRESSED  mcf: events_per_sec") {
+		t.Errorf("gate output missing events_per_sec verdict:\n%s", out.String())
+	}
+}
+
+// TestGateNewBenchmark: an added benchmark is reported but does not fail
+// the gate.
+func TestGateNewBenchmark(t *testing.T) {
+	base := sampleRun()
+	cur := sampleRun()
+	cur.Benchmarks = append(cur.Benchmarks, Benchmark{Name: "extra", BestCycles: 1e9})
+	var out bytes.Buffer
+	if err := Gate(&out, base, cur, 5); err != nil {
+		t.Fatalf("Gate(added benchmark) = %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "NEW        extra: not in baseline") {
+		t.Errorf("gate output missing NEW notice:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok: no tracked metric regressed") {
+		t.Errorf("gate output missing ok line:\n%s", out.String())
 	}
 }

@@ -119,7 +119,11 @@ func Select(a *trace.Analysis, cfg Config) *Set {
 // both simplifies the runtime check (no id comparison at all) and enables
 // recycling.
 func (s *Set) PromoteSites(a *trace.Analysis, threshold float64, minAllocs uint64) {
-	for site, insts := range s.PerSite {
+	// Promote in sorted site order: promoted objects are appended to
+	// s.Objects, so ranging over the PerSite map here would make the
+	// tail ordering of the hot set depend on map iteration order.
+	for _, site := range s.Sites() {
+		insts := s.PerSite[site]
 		total := a.SiteAllocs[site]
 		if total < minAllocs || float64(len(insts)) < threshold*float64(total) {
 			continue

@@ -66,6 +66,15 @@ type Metrics struct {
 	StallCycles float64         `json:"stall_cycles"`
 }
 
+// Events is the number of simulated events the run generated: one per
+// memory access plus one per allocator call (malloc/free/realloc) —
+// exactly the recorder's event count for a recorded run, so host-cost
+// throughput (events/sec) is comparable between recorded and
+// recording-free runs.
+func (m Metrics) Events() uint64 {
+	return m.MemInstr + m.Mallocs + m.Frees + m.Reallocs
+}
+
 // String returns a one-line human-readable summary of the run.
 func (m Metrics) String() string {
 	return fmt.Sprintf(

@@ -6,6 +6,7 @@
 //	/healthz        liveness (status, uptime, goroutines)
 //	/status         JSON view of the parallel harness's job states
 //	/trace          Chrome trace-event JSON of the live span tree
+//	/perf           JSON host-cost snapshot (throughput, GC, per-phase)
 //	/debug/pprof/*  the Go runtime profiles of the harness process
 //
 // The server is read-only and snapshot-based: every request renders the
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
 )
 
 // Config wires the observability sources into the handler. Any field may
@@ -33,6 +35,7 @@ type Config struct {
 	Registry *obs.Registry
 	Tracer   *obs.Tracer
 	Tracker  *obs.JobTracker
+	Perf     *perfstat.Collector
 }
 
 // NewHandler returns the observability mux. Exposed separately from
@@ -52,6 +55,7 @@ func NewHandler(cfg Config) http.Handler {
 			"/healthz        liveness\n"+
 			"/status         parallel-harness job states (JSON)\n"+
 			"/trace          Chrome trace-event JSON of the live span tree\n"+
+			"/perf           host-cost snapshot: throughput, GC, per-phase (JSON)\n"+
 			"/debug/pprof/   Go runtime profiles\n")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -75,6 +79,11 @@ func NewHandler(cfg Config) http.Handler {
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, cfg.Tracker.Status())
+	})
+	mux.HandleFunc("/perf", func(w http.ResponseWriter, r *http.Request) {
+		// Snapshot renders the zero document on a nil collector, so the
+		// endpoint is well-formed before any scope has finished.
+		writeJSON(w, cfg.Perf.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
 	"prefix/internal/pipeline"
 )
 
@@ -33,7 +34,7 @@ func TestIndex(t *testing.T) {
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("GET / = %d", res.StatusCode)
 	}
-	for _, want := range []string{"/metrics", "/healthz", "/status", "/trace", "/debug/pprof"} {
+	for _, want := range []string{"/metrics", "/healthz", "/status", "/trace", "/perf", "/debug/pprof"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("index missing %s:\n%s", want, body)
 		}
@@ -124,6 +125,41 @@ func TestStatus(t *testing.T) {
 	}
 }
 
+func TestPerf(t *testing.T) {
+	pc := perfstat.New(nil)
+	sc := pc.Begin("suite")
+	sc.AddEvents(1234)
+	sc.End()
+	res, body := get(t, NewHandler(Config{Perf: pc}), "/perf")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /perf = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want JSON", ct)
+	}
+	var snap perfstat.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("perf is not JSON: %v\n%s", err, body)
+	}
+	if snap.Events != 1234 || snap.ThroughputEventsPerSec <= 0 {
+		t.Errorf("perf events/throughput = %d/%g, want 1234/>0", snap.Events, snap.ThroughputEventsPerSec)
+	}
+	if len(snap.Phases) != 1 || snap.Phases[0].Phase != "suite" {
+		t.Errorf("perf phases = %+v, want one suite phase", snap.Phases)
+	}
+}
+
+func TestPerfNilCollector(t *testing.T) {
+	res, body := get(t, NewHandler(Config{}), "/perf")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("nil-collector /perf = %d", res.StatusCode)
+	}
+	var snap perfstat.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("nil-collector /perf is not well-formed JSON: %v\n%s", err, body)
+	}
+}
+
 func TestPprofIndex(t *testing.T) {
 	res, body := get(t, NewHandler(Config{}), "/debug/pprof/")
 	if res.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
@@ -195,7 +231,8 @@ func TestServeLiveSuite(t *testing.T) {
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer()
 	jt := obs.NewJobTracker()
-	srv, err := Serve("127.0.0.1:0", Config{Registry: reg, Tracer: tr, Tracker: jt})
+	pc := perfstat.New(reg)
+	srv, err := Serve("127.0.0.1:0", Config{Registry: reg, Tracer: tr, Tracker: jt, Perf: pc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,6 +243,7 @@ func TestServeLiveSuite(t *testing.T) {
 	opt.UseBenchScale = true
 	opt.Metrics = reg
 	opt.Tracer = tr
+	opt.Perf = pc
 	opt.Progress = func(ev obs.JobEvent) { jt.Observe(ev) }
 
 	stop := make(chan struct{})
@@ -220,7 +258,7 @@ func TestServeLiveSuite(t *testing.T) {
 					return
 				default:
 				}
-				for _, path := range []string{"/metrics", "/status", "/trace", "/healthz"} {
+				for _, path := range []string{"/metrics", "/status", "/trace", "/perf", "/healthz"} {
 					res, err := http.Get(base + path)
 					if err != nil {
 						t.Errorf("GET %s: %v", path, err)
@@ -272,6 +310,34 @@ func TestServeLiveSuite(t *testing.T) {
 	}
 	if st.ElapsedSeconds <= 0 {
 		t.Errorf("final status elapsed = %v, want > 0", st.ElapsedSeconds)
+	}
+	// /perf reflects the completed suite: every benchmark job and its
+	// profile ran under a scope, so both phases report events and
+	// positive throughput, and /metrics carries the prefix_perf_ series.
+	res, err = http.Get(base + "/perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap perfstat.Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if snap.Events == 0 || snap.ThroughputEventsPerSec <= 0 {
+		t.Errorf("final /perf events/throughput = %d/%g, want positive", snap.Events, snap.ThroughputEventsPerSec)
+	}
+	phases := make(map[string]perfstat.PhaseStats, len(snap.Phases))
+	for _, p := range snap.Phases {
+		phases[p.Phase] = p
+	}
+	for _, name := range []string{"suite", "profile"} {
+		p, ok := phases[name]
+		if !ok || p.Scopes != len(names) || p.Events == 0 || p.WallNanos <= 0 {
+			t.Errorf("final /perf phase %q = %+v, want %d scopes with events and wall time", name, p, len(names))
+		}
+	}
+	if !strings.Contains(string(body), "prefix_perf_events_total") {
+		t.Errorf("/metrics after run missing prefix_perf_events_total series")
 	}
 }
 

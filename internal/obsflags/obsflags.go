@@ -16,6 +16,7 @@ import (
 
 	"prefix/internal/obs"
 	"prefix/internal/obs/obshttp"
+	"prefix/internal/obs/perfstat"
 )
 
 // Flags holds the parsed observability flag values.
@@ -36,14 +37,14 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace-event JSON of the pipeline phases (chrome://tracing, Perfetto)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a Go CPU profile of this process to the file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a Go heap profile of this process to the file")
-	fs.BoolVar(&f.Verbose, "v", false, "print a phase-timing summary to stderr at the end of the run")
+	fs.BoolVar(&f.Verbose, "v", false, "print a phase-timing summary and per-phase host-cost table to stderr at the end of the run")
 	return f
 }
 
 // RegisterServe additionally adds -serve (the live observability server;
 // only the long-running harness commands register it).
 func (f *Flags) RegisterServe(fs *flag.FlagSet) {
-	fs.StringVar(&f.Serve, "serve", "", "serve live observability for the duration of the run on this address (e.g. :8080): /metrics, /status, /trace, /healthz, /debug/pprof")
+	fs.StringVar(&f.Serve, "serve", "", "serve live observability for the duration of the run on this address (e.g. :8080): /metrics, /status, /trace, /perf, /healthz, /debug/pprof")
 }
 
 // Session is the live observability state behind the flags. Metrics,
@@ -53,6 +54,11 @@ type Session struct {
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
 	Tracker *obs.JobTracker
+	// Perf is the host-cost sampler. Unlike the other members it is
+	// always created: its per-scope cost is two runtime probes, the -v
+	// table and the /perf endpoint read from it, and when Metrics is
+	// live it publishes the prefix_perf_* series there too.
+	Perf *perfstat.Collector
 
 	flags   *Flags
 	cpuFile *os.File
@@ -71,12 +77,14 @@ func (f *Flags) Start() (*Session, error) {
 	if f.TraceOut != "" || f.Verbose || f.Serve != "" {
 		s.Tracer = obs.NewTracer()
 	}
+	s.Perf = perfstat.New(s.Metrics)
 	if f.Serve != "" {
 		s.Tracker = obs.NewJobTracker()
 		srv, err := obshttp.Serve(f.Serve, obshttp.Config{
 			Registry: s.Metrics,
 			Tracer:   s.Tracer,
 			Tracker:  s.Tracker,
+			Perf:     s.Perf,
 		})
 		if err != nil {
 			return nil, err
@@ -152,6 +160,7 @@ func (s *Session) Close() error {
 	}
 	if s.flags.Verbose {
 		keep(s.Tracer.WriteSummary(s.stderr))
+		keep(s.Perf.WriteTable(s.stderr))
 		s.flags.Verbose = false
 	}
 	s.shutdownServer()

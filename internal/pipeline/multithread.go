@@ -50,13 +50,16 @@ func RunMultithreadedJobs(name string, threadCounts []int, opt Options, jobs int
 	// the default thread count, then optimize once and evaluate at every
 	// thread count.
 	const defaultThreads = 4
+	profScope := opt.Perf.Begin("profile")
 	rec := trace.NewRecorder()
 	profGroup := machine.NewGroup(baselines.NewBaseline(opt.Cache.Cost), opt.Cache, defaultThreads, rec)
 	pcfg := spec.Profile
 	pcfg.Threads = defaultThreads
 	runGroup(mt, profGroup, pcfg, defaultThreads)
 	profGroup.Finish()
+	profScope.AddEvents(rec.Stats().Events)
 	analysis := trace.Analyze(rec.Trace())
+	profScope.End()
 	if analysis.HeapAccesses == 0 {
 		return nil, fmt.Errorf("pipeline: %s multithreaded profile has no heap accesses", name)
 	}
@@ -81,6 +84,8 @@ func RunMultithreadedJobs(name string, threadCounts []int, opt Options, jobs int
 			wcfg := base
 			wcfg.Threads = k
 			span := root.Child(fmt.Sprintf("eval threads=%d", k))
+			sc := opt.Perf.Begin("multithreaded").AttachSpan(span)
+			defer sc.End()
 
 			baseGroup := machine.NewGroup(baselines.NewBaseline(opt.Cache.Cost), opt.Cache, k, nil)
 			runGroup(mt, baseGroup, wcfg, k)
@@ -90,6 +95,7 @@ func RunMultithreadedJobs(name string, threadCounts []int, opt Options, jobs int
 			optGroup := machine.NewGroup(alloc, opt.Cache, k, nil)
 			runGroup(mt, optGroup, wcfg, k)
 			_, optCycles, optTotal := optGroup.Finish()
+			sc.AddEvents(baseTotal.Events() + optTotal.Events())
 
 			if reg := opt.Metrics; reg != nil {
 				threads := fmt.Sprint(k)

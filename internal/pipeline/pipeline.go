@@ -18,6 +18,7 @@ import (
 	"prefix/internal/machine"
 	"prefix/internal/mem"
 	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
 	"prefix/internal/prefix"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
@@ -46,6 +47,12 @@ type Options struct {
 	// identical with or without them.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Perf, when non-nil, receives host-cost samples: every profile,
+	// suite, variance, multithreaded, and figure9 job is bracketed by a
+	// perfstat scope measuring wall time, heap allocation, GC cost, and
+	// events/sec throughput on the host. Like Metrics/Tracer it is
+	// nil-safe and never influences reported results.
+	Perf *perfstat.Collector
 	// Labels are extra label key/value pairs appended to every metric
 	// series the pipeline publishes. The variance sweep uses it to attach
 	// a "seed" label so all N seed runs survive in the export instead of
@@ -118,6 +125,9 @@ type Profile struct {
 	StreamsSequitur []hds.Stream
 	// Metrics of the profiling run itself.
 	Metrics machine.Metrics
+	// Stats is what the profiling recorder captured (event count, spill
+	// chunking) — the event total feeds host-cost throughput accounting.
+	Stats trace.RecorderStats
 }
 
 // CollectProfile runs the benchmark's profiling input under the tracing
@@ -135,6 +145,8 @@ func CollectProfile(spec workloads.Spec, opt Options) (*Profile, error) {
 // analysis path; the resulting Profile is identical either way.
 func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profile, error) {
 	name := spec.Program.Name()
+	sc := opt.Perf.Begin("profile").AttachSpan(parent)
+	defer sc.End()
 
 	var (
 		a       *trace.Analysis
@@ -150,6 +162,7 @@ func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profil
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s streaming profile: %w", name, err)
 	}
+	sc.AddEvents(stats.Events)
 	if a.HeapAccesses == 0 {
 		return nil, fmt.Errorf("pipeline: %s profiling run produced no heap accesses", name)
 	}
@@ -189,6 +202,7 @@ func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profil
 		StreamsLCS:      lcs,
 		StreamsSequitur: seq,
 		Metrics:         metrics,
+		Stats:           stats,
 	}, nil
 }
 

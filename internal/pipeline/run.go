@@ -7,6 +7,7 @@ import (
 	"prefix/internal/hds"
 	"prefix/internal/machine"
 	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
 	"prefix/internal/prefix"
 	"prefix/internal/trace"
 	"prefix/internal/workloads"
@@ -106,6 +107,13 @@ type Comparison struct {
 	// LongRun is the Table 5 long-run analysis of the best variant's
 	// recorded trace (nil unless CaptureLongRun).
 	LongRun *LongRunCapture
+	// Events is the total number of simulated events the benchmark's
+	// profiling and evaluation runs generated (the events/sec numerator).
+	Events uint64
+	// Host is the benchmark job's measured host cost (wall time, heap
+	// allocation, GC, events/sec), filled by the suite runner when
+	// Options.Perf is attached; nil otherwise. Never feeds report output.
+	Host *perfstat.Sample
 }
 
 // LongRunCapture compares what landed in the preallocated region during
@@ -147,6 +155,7 @@ func RunBenchmark(name string, opt Options) (*Comparison, error) {
 	cmp, err := compareStrategies(spec, opt, prof, root)
 	root.End()
 	if err == nil {
+		cmp.Events += prof.Stats.Events
 		root.ObserveDurations(opt.Metrics.Histogram("prefix_stage_seconds", obs.TimeBuckets))
 	}
 	return cmp, err
@@ -170,14 +179,17 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile, root *ob
 
 	// Baseline.
 	cmp.Baseline = runOne(spec, opt, baselines.NewBaseline(cost), false, root)
+	cmp.Events += cmp.Baseline.Metrics.Events()
 
 	// HDS baseline: sites from Sequitur streams, per the original work.
 	hdsSites := baselines.HDSSites(prof.Analysis, prof.StreamsSequitur)
 	cmp.HDS = runOne(spec, opt, baselines.NewHDS(hdsSites, hotSet, cost), false, root)
+	cmp.Events += cmp.HDS.Metrics.Events()
 
 	// HALO baseline: affinity-grouped allocation contexts.
 	haloCfg := baselines.PlanHALO(prof.Analysis, prof.Hot, prof.StreamsLCS)
 	cmp.HALO = runOne(spec, opt, baselines.NewHALO(haloCfg, hotSet, cost), false, root)
+	cmp.Events += cmp.HALO.Metrics.Events()
 
 	// PreFix variants.
 	for _, v := range opt.Variants {
@@ -206,6 +218,7 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile, root *ob
 		cmp.Plans[v] = plan
 		cmp.Summaries[v] = sum
 		cmp.PreFix[v] = runOne(spec, opt, prefix.NewAllocator(plan, cost), false, root)
+		cmp.Events += cmp.PreFix[v].Metrics.Events()
 	}
 
 	best := opt.Variants[0]
@@ -217,11 +230,12 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile, root *ob
 	cmp.Best = best
 
 	if opt.CaptureLongRun {
-		lr, err := captureLongRun(spec, opt, cmp.Plans[best], root)
+		lr, events, err := captureLongRun(spec, opt, cmp.Plans[best], root)
 		if err != nil {
 			return nil, err
 		}
 		cmp.LongRun = lr
+		cmp.Events += events
 	}
 	return cmp, nil
 }
@@ -244,6 +258,8 @@ func TraceBaselineAndBest(name string, opt Options) (base, best *trace.Trace, be
 	}
 	root := opt.Tracer.Start("figure9 " + name)
 	defer root.End()
+	sc := opt.Perf.Begin("figure9").AttachSpan(root)
+	defer sc.End()
 	profSpan := root.Child("profile")
 	prof, err := collectProfile(spec, opt, profSpan)
 	profSpan.End()
@@ -267,6 +283,7 @@ func TraceBaselineAndBest(name string, opt Options) (base, best *trace.Trace, be
 			return nil, nil, 0, fmt.Errorf("pipeline: %s %v: %w", name, v, perr)
 		}
 		res := runOne(spec, selOpt, prefix.NewAllocator(plan, opt.Cache.Cost), false, root)
+		sc.AddEvents(res.Metrics.Events())
 		if i == 0 || res.Metrics.Cycles < bestCycles {
 			bestCycles = res.Metrics.Cycles
 			bestVariant, bestPlan = v, plan
@@ -277,12 +294,14 @@ func TraceBaselineAndBest(name string, opt Options) (base, best *trace.Trace, be
 	recOpt.Labels = append(append([]string(nil), opt.Labels...), "phase", "figure9")
 	baseRun := runOne(spec, recOpt, baselines.NewBaseline(opt.Cache.Cost), true, root)
 	optRun := runOne(spec, recOpt, prefix.NewAllocator(bestPlan, opt.Cache.Cost), true, root)
+	sc.AddEvents(baseRun.Metrics.Events() + optRun.Metrics.Events())
 	return baseRun.Trace, optRun.Trace, bestVariant, nil
 }
 
 // captureLongRun re-runs the best variant with tracing and analyzes what
-// was captured (Table 5's long-run columns).
-func captureLongRun(spec workloads.Spec, opt Options, plan *prefix.Plan, root *obs.Span) (*LongRunCapture, error) {
+// was captured (Table 5's long-run columns). The second return is the
+// capture run's simulated event count for host-cost accounting.
+func captureLongRun(spec workloads.Spec, opt Options, plan *prefix.Plan, root *obs.Span) (*LongRunCapture, uint64, error) {
 	span := root.Child("long-run-capture")
 	defer span.End()
 	alloc := prefix.NewAllocator(plan, opt.Cache.Cost)
@@ -315,5 +334,5 @@ func captureLongRun(spec workloads.Spec, opt Options, plan *prefix.Plan, root *o
 	if a.HeapAccesses > 0 {
 		lr.HeapAccessPct = 100 * float64(regionAccesses) / float64(a.HeapAccesses)
 	}
-	return lr, nil
+	return lr, res.Metrics.Events(), nil
 }

@@ -91,9 +91,16 @@ func RunSuite(names []string, opt Options, jobs int) ([]*Comparison, error) {
 	errs := runJobs(len(names), jobs, func(i int) error {
 		ev := obs.JobEvent{Phase: "suite", Benchmark: names[i], Job: i, Jobs: len(names), Seed: -1}
 		return opt.instrumentJob(ev, func() error {
+			sc := opt.Perf.Begin("suite")
 			cmp, err := RunBenchmark(names[i], opt)
 			if err != nil {
+				sc.End()
 				return err
+			}
+			sc.AddEvents(cmp.Events)
+			sample := sc.End()
+			if opt.Perf != nil {
+				cmp.Host = &sample
 			}
 			cmps[i] = cmp
 			return nil

@@ -109,9 +109,16 @@ func RunSuiteVariance(names []string, runs int, opt Options, jobs int) ([]*Varia
 		seedOpt := opt
 		seedOpt.Labels = append(append([]string(nil), opt.Labels...), "seed", strconv.Itoa(si))
 		span := st.root.Child("seed " + strconv.Itoa(si))
+		sc := opt.Perf.Begin("variance").AttachSpan(span)
 		// Keep the profiling input fixed: the plan must survive input
 		// changes (Table 5's claim).
 		cmp, err := compareStrategies(runSpec, seedOpt, st.prof, span)
+		if err == nil {
+			// cmp.Events counts only this seed's evaluation runs; the
+			// shared profile is accounted by its own "profile" scope.
+			sc.AddEvents(cmp.Events)
+		}
+		sc.End()
 		span.End()
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", si, err)
