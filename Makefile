@@ -8,7 +8,7 @@ GO ?= go
 # benchmarks at reduced scale through the worker pool.
 SMOKE_ARGS = -scale bench -jobs 4 -only table3 -bench mcf,health
 
-.PHONY: check fmt vet lint build test test-short race bench bench-smoke bench-baseline bench-gate stream-smoke perf-smoke clean
+.PHONY: check fmt vet lint build test test-short race bench bench-micro bench-smoke bench-baseline bench-gate stream-smoke perf-smoke clean
 
 check: fmt vet lint build race
 
@@ -41,6 +41,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# One-iteration smoke of the inner-loop microbenchmarks (cache probe,
+# hierarchy walk, machine event loop, miners). Catches compile breakage
+# and gross regressions in CI without paying for a real measurement; use
+# `make bench` for numbers.
+bench-micro:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ \
+		./internal/cachesim ./internal/machine ./internal/hds ./internal/trace
 
 # Fast end-to-end smoke of the parallel harness.
 bench-smoke:

@@ -1,0 +1,39 @@
+package cachesim
+
+import (
+	"testing"
+
+	"prefix/internal/mem"
+)
+
+// The microbenchmarks pin the inner-loop cost of the simulator. Run with
+// `make bench-micro` (smoke) or `go test -bench . -benchmem ./internal/...`
+// for real numbers; allocs/op must stay at 0.
+
+func BenchmarkCacheAccess(b *testing.B) {
+	for _, p := range []Policy{PolicyLRU, PolicyFIFO, PolicyRandom} {
+		b.Run(p.String(), func(b *testing.B) {
+			c := MustCache(32<<10, 64, 8)
+			c.SetPolicy(p)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Stride past L1 capacity so hits and misses both occur.
+				c.Access(mem.Addr(uint64(i) * 192 % (256 << 10)))
+			}
+		})
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	run := func(b *testing.B, prefetch bool) {
+		cfg := ScaledConfig()
+		cfg.NextLinePrefetch = prefetch
+		h := New(cfg)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Access(mem.Addr(uint64(i)*320%(16<<20)), 8)
+		}
+	}
+	b.Run("demand", func(b *testing.B) { run(b, false) })
+	b.Run("prefetch", func(b *testing.B) { run(b, true) })
+}

@@ -43,13 +43,20 @@ func (p Policy) String() string {
 
 // Cache is one set-associative, write-allocate cache level. Tags are
 // line (or page) numbers; no data is stored.
+//
+// Tag storage is one flat preallocated array of sets*ways words: set s
+// occupies tags[s*ways : s*ways+fill[s]], ordered MRU-first for LRU and
+// fill-order for FIFO. Every Access is a bounds-computed probe of that
+// window — no per-set slice headers to chase, and no allocation ever
+// happens after construction (Reset reuses the storage).
 type Cache struct {
 	sets     uint64
 	ways     int
 	shift    uint // address bits consumed below the index (line/page)
 	policy   Policy
-	tags     [][]uint64 // per set; MRU-first for LRU, fill-order for FIFO
-	rng      uint64     // xorshift state for PolicyRandom
+	tags     []uint64 // flat sets*ways tag array
+	fill     []int32  // valid ways per set
+	rng      uint64   // xorshift state for PolicyRandom
 	accesses uint64
 	misses   uint64
 }
@@ -77,7 +84,8 @@ func NewCache(size, line uint64, ways int) (*Cache, error) {
 		shift++
 	}
 	c := &Cache{sets: sets, ways: ways, shift: shift, rng: 0x9e3779b97f4a7c15}
-	c.tags = make([][]uint64, sets)
+	c.tags = make([]uint64, sets*uint64(ways))
+	c.fill = make([]int32, sets)
 	return c, nil
 }
 
@@ -96,12 +104,54 @@ func MustCache(size, line uint64, ways int) *Cache {
 	return c
 }
 
+// BlockOf returns the tag (line or page number) of the block holding
+// addr; the *Block entry points take it directly so a hierarchy walk
+// computes each address's block number once across levels.
+func (c *Cache) BlockOf(addr mem.Addr) uint64 { return uint64(addr) >> c.shift }
+
 // Access touches the block containing addr and reports whether it hit.
 func (c *Cache) Access(addr mem.Addr) bool {
+	return c.AccessBlock(uint64(addr) >> c.shift)
+}
+
+// AccessBlock is Access on a precomputed block number.
+func (c *Cache) AccessBlock(block uint64) bool {
 	c.accesses++
-	block := uint64(addr) >> c.shift
 	set := block & (c.sets - 1)
-	ws := c.tags[set]
+	base := int(set) * c.ways
+	n := int(c.fill[set])
+	if c.lookup(block, base, n) {
+		return true
+	}
+	c.misses++
+	c.fillWay(block, set, base, n)
+	return false
+}
+
+// Install fills or refreshes the block containing addr exactly like a
+// demand access — same LRU refresh on hit, same fill/eviction on miss —
+// but without touching the demand accesses/misses counters. Prefetchers
+// use it so non-demand traffic never skews MissRate.
+func (c *Cache) Install(addr mem.Addr) {
+	c.InstallBlock(uint64(addr) >> c.shift)
+}
+
+// InstallBlock is Install on a precomputed block number.
+func (c *Cache) InstallBlock(block uint64) {
+	set := block & (c.sets - 1)
+	base := int(set) * c.ways
+	n := int(c.fill[set])
+	if c.lookup(block, base, n) {
+		return
+	}
+	c.fillWay(block, set, base, n)
+}
+
+// lookup probes the set window for block, refreshing recency order on a
+// hit; it reports residency. Shared by the demand and install paths so
+// their content transitions are identical by construction.
+func (c *Cache) lookup(block uint64, base, n int) bool {
+	ws := c.tags[base : base+n]
 	for i, tag := range ws {
 		if tag == block {
 			if c.policy == PolicyLRU {
@@ -112,34 +162,41 @@ func (c *Cache) Access(addr mem.Addr) bool {
 			return true
 		}
 	}
-	c.misses++
+	return false
+}
+
+// fillWay inserts block into a set that does not hold it: fill an empty
+// way when one exists, otherwise evict per the replacement policy.
+func (c *Cache) fillWay(block, set uint64, base, n int) {
 	switch {
-	case len(ws) < c.ways:
+	case n < c.ways:
 		// Fill an empty way: insert at the front (MRU / newest).
-		ws = append(ws, 0)
+		ws := c.tags[base : base+n+1]
 		copy(ws[1:], ws)
 		ws[0] = block
+		c.fill[set] = int32(n + 1)
 	case c.policy == PolicyRandom:
 		// Deterministic xorshift victim.
 		c.rng ^= c.rng << 13
 		c.rng ^= c.rng >> 7
 		c.rng ^= c.rng << 17
-		ws[c.rng%uint64(len(ws))] = block
+		c.tags[base+int(c.rng%uint64(n))] = block
 	default:
 		// LRU and FIFO both evict the tail and insert at the head; the
 		// difference is that FIFO never refreshes on hit.
+		ws := c.tags[base : base+n]
 		copy(ws[1:], ws)
 		ws[0] = block
 	}
-	c.tags[set] = ws
-	return false
 }
 
 // Contains reports whether the block holding addr is resident (no state
 // change, no accounting).
 func (c *Cache) Contains(addr mem.Addr) bool {
 	block := uint64(addr) >> c.shift
-	for _, tag := range c.tags[block&(c.sets-1)] {
+	set := block & (c.sets - 1)
+	base := int(set) * c.ways
+	for _, tag := range c.tags[base : base+int(c.fill[set])] {
 		if tag == block {
 			return true
 		}
@@ -147,10 +204,11 @@ func (c *Cache) Contains(addr mem.Addr) bool {
 	return false
 }
 
-// Accesses returns the number of Access calls.
+// Accesses returns the number of demand Access calls (Install traffic is
+// not counted).
 func (c *Cache) Accesses() uint64 { return c.accesses }
 
-// Misses returns the number of misses.
+// Misses returns the number of demand misses.
 func (c *Cache) Misses() uint64 { return c.misses }
 
 // MissRate returns misses/accesses (0 when empty).
@@ -161,10 +219,12 @@ func (c *Cache) MissRate() float64 {
 	return float64(c.misses) / float64(c.accesses)
 }
 
-// Reset clears contents and counters.
+// Reset clears contents and counters in place: fill counts drop to zero
+// and the flat tag array is kept, so a post-reset refill re-pays no
+// allocations.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i] = nil
+	for i := range c.fill {
+		c.fill[i] = 0
 	}
 	c.accesses, c.misses = 0, 0
 }

@@ -1,0 +1,221 @@
+package cachesim
+
+import (
+	"testing"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// refCache reimplements the pre-flat tag storage — one []uint64 per set,
+// grown on demand — with identical replacement semantics and the same
+// xorshift stream, so it is a behavioural oracle for the flat layout
+// across every policy.
+type refCache struct {
+	sets   uint64
+	ways   int
+	shift  uint
+	policy Policy
+	tags   [][]uint64
+	rng    uint64
+}
+
+func newRefCache(size, line uint64, ways int, p Policy) *refCache {
+	lines := size / line
+	sets := lines / uint64(ways)
+	var shift uint
+	for l := line; l > 1; l >>= 1 {
+		shift++
+	}
+	return &refCache{
+		sets: sets, ways: ways, shift: shift, policy: p,
+		tags: make([][]uint64, sets),
+		rng:  0x9e3779b97f4a7c15,
+	}
+}
+
+func (r *refCache) access(addr mem.Addr) bool {
+	block := uint64(addr) >> r.shift
+	si := block & (r.sets - 1)
+	ws := r.tags[si]
+	for i, tag := range ws {
+		if tag == block {
+			if r.policy == PolicyLRU {
+				copy(ws[1:i+1], ws[:i])
+				ws[0] = block
+			}
+			return true
+		}
+	}
+	switch {
+	case len(ws) < r.ways:
+		ws = append(ws, 0)
+		copy(ws[1:], ws)
+		ws[0] = block
+		r.tags[si] = ws
+	case r.policy == PolicyRandom:
+		r.rng ^= r.rng << 13
+		r.rng ^= r.rng >> 7
+		r.rng ^= r.rng << 17
+		ws[r.rng%uint64(len(ws))] = block
+	default:
+		copy(ws[1:], ws)
+		ws[0] = block
+	}
+	return false
+}
+
+// TestFlatMatchesReferenceAllPolicies drives the flat cache and the
+// slice-per-set oracle with the same mixed address stream (sequential
+// sweeps, strides, pseudo-random) and demands identical hit/miss
+// outcomes at every single access, for all three policies.
+func TestFlatMatchesReferenceAllPolicies(t *testing.T) {
+	for _, p := range []Policy{PolicyLRU, PolicyFIFO, PolicyRandom} {
+		t.Run(p.String(), func(t *testing.T) {
+			c := MustCache(4096, 64, 4)
+			c.SetPolicy(p)
+			ref := newRefCache(4096, 64, 4, p)
+			rng := xrand.New(42)
+			step := 0
+			drive := func(a mem.Addr) {
+				step++
+				if got, want := c.Access(a), ref.access(a); got != want {
+					t.Fatalf("step %d addr %#x: flat=%v ref=%v", step, a, got, want)
+				}
+			}
+			for a := mem.Addr(0); a < 8<<10; a += 64 { // sequential
+				drive(a)
+			}
+			for a := mem.Addr(0); a < 32<<10; a += 192 { // strided
+				drive(a)
+			}
+			for i := 0; i < 5000; i++ { // pseudo-random
+				drive(mem.Addr(rng.Uint64n(64 << 10)))
+			}
+			for a := mem.Addr(0); a < 64<<10; a += 64 { // capacity thrash
+				drive(a)
+			}
+		})
+	}
+}
+
+// TestStraddleMatchesReference covers accesses spanning a line boundary:
+// the hierarchy walks both lines, so the per-line transitions must match
+// the oracle driven line by line.
+func TestStraddleMatchesReference(t *testing.T) {
+	c := MustCache(4096, 64, 4)
+	ref := newRefCache(4096, 64, 4, PolicyLRU)
+	rng := xrand.New(7)
+	for i := 0; i < 4000; i++ {
+		a := mem.Addr(rng.Uint64n(32 << 10))
+		size := 1 + rng.Uint64n(256) // frequently straddles
+		first := uint64(a) >> 6
+		last := (uint64(a) + size - 1) >> 6
+		for blk := first; blk <= last; blk++ {
+			if got, want := c.AccessBlock(blk), ref.access(mem.Addr(blk<<6)); got != want {
+				t.Fatalf("access %d blk %#x: flat=%v ref=%v", i, blk, got, want)
+			}
+		}
+	}
+}
+
+// TestInstallMatchesAccessContent: Install must perform exactly the
+// content transitions of a demand access — same hits, fills, evictions —
+// while leaving the demand counters untouched.
+func TestInstallMatchesAccessContent(t *testing.T) {
+	via := MustCache(4096, 64, 4)  // driven by Access
+	inst := MustCache(4096, 64, 4) // driven by Install
+	rng := xrand.New(99)
+	addrs := make([]mem.Addr, 6000)
+	for i := range addrs {
+		addrs[i] = mem.Addr(rng.Uint64n(64 << 10))
+	}
+	for _, a := range addrs {
+		via.Access(a)
+		inst.Install(a)
+	}
+	if inst.Accesses() != 0 || inst.Misses() != 0 {
+		t.Errorf("Install touched demand counters: accesses=%d misses=%d", inst.Accesses(), inst.Misses())
+	}
+	for a := mem.Addr(0); a < 64<<10; a += 64 {
+		if via.Contains(a) != inst.Contains(a) {
+			t.Fatalf("content diverged at %#x: access=%v install=%v", a, via.Contains(a), inst.Contains(a))
+		}
+	}
+}
+
+// TestPrefetchDoesNotInflateLLCDemand is the regression test for the
+// accounting bug where next-line prefetches were issued through the
+// demand path: the LLC's own counters must reflect only demand lookups
+// (Counts.LLCHits + Counts.LLCMisses), never prefetch installs.
+func TestPrefetchDoesNotInflateLLCDemand(t *testing.T) {
+	cfg := testConfig()
+	cfg.NextLinePrefetch = true
+	h := New(cfg)
+	rng := xrand.New(5)
+	for i := 0; i < 20000; i++ {
+		h.Access(mem.Addr(rng.Uint64n(8<<20)), 8)
+	}
+	c := h.Counts()
+	if c.Prefetches == 0 {
+		t.Fatal("workload issued no prefetches; test is vacuous")
+	}
+	if got, want := h.llc.Accesses(), c.LLCHits+c.LLCMisses; got != want {
+		t.Errorf("LLC demand accesses = %d, want %d (prefetches=%d leaked into demand counters)",
+			got, want, c.Prefetches)
+	}
+	if got, want := h.llc.Misses(), c.LLCMisses; got != want {
+		t.Errorf("LLC demand misses = %d, want %d", got, want)
+	}
+}
+
+// TestCacheAccessZeroAllocs: after construction, the demand path must
+// never allocate — including the eviction paths of every policy.
+func TestCacheAccessZeroAllocs(t *testing.T) {
+	for _, p := range []Policy{PolicyLRU, PolicyFIFO, PolicyRandom} {
+		c := MustCache(4096, 64, 4)
+		c.SetPolicy(p)
+		var i uint64
+		if n := testing.AllocsPerRun(10000, func() {
+			c.Access(mem.Addr(i * 64))
+			i++
+		}); n != 0 {
+			t.Errorf("%s: Access allocates %.1f per op", p, n)
+		}
+	}
+}
+
+// TestResetRefillZeroAllocs is the regression test for Reset dropping
+// way storage: a full fill → Reset → full refill cycle must reuse the
+// flat array and allocate nothing.
+func TestResetRefillZeroAllocs(t *testing.T) {
+	c := MustCache(4096, 64, 4)
+	for a := mem.Addr(0); a < 64<<10; a += 64 {
+		c.Access(a)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		c.Reset()
+		for a := mem.Addr(0); a < 64<<10; a += 64 {
+			c.Access(a)
+		}
+	}); n != 0 {
+		t.Errorf("Reset+refill allocates %.1f per cycle", n)
+	}
+	if c.Accesses() == 0 || !c.Contains(64<<10-64) {
+		t.Error("refill did not actually run")
+	}
+}
+
+// TestHierarchyAccessZeroAllocs: the full L1→LLC→TLB walk with the
+// prefetcher on must be allocation-free.
+func TestHierarchyAccessZeroAllocs(t *testing.T) {
+	cfg := testConfig()
+	cfg.NextLinePrefetch = true
+	h := New(cfg)
+	rng := xrand.New(11)
+	if n := testing.AllocsPerRun(10000, func() {
+		h.Access(mem.Addr(rng.Uint64n(8<<20)), 8)
+	}); n != 0 {
+		t.Errorf("Hierarchy.Access allocates %.1f per op", n)
+	}
+}

@@ -145,44 +145,53 @@ func SharedLLC(cfg Config) *Cache { return MustCache(cfg.LLCSize, cfg.Line, cfg.
 // straddle a line boundary touch both lines (one counted access, both line
 // fills), matching DrCacheSim accounting closely enough for the ratios the
 // paper reports.
+//
+// The walk is flat: each address's page and line block numbers are
+// computed once and probed directly against every level's flat tag
+// array, so the whole L1→L2→LLC→TLB path is adds, shifts, and one short
+// probe loop per level — no per-level address re-derivation and no
+// allocation.
 func (h *Hierarchy) Access(addr mem.Addr, size uint64) {
 	if size == 0 {
 		size = 1
 	}
 	h.counts.Accesses++
-	// TLB lookup for the first page only; straddles are negligible.
-	if !h.tlb1.Access(addr) {
+	a := uint64(addr)
+	// TLB lookup for the first page only; straddles are negligible. Both
+	// TLB levels share the page geometry, so one page number serves both.
+	if page := a >> h.tlb1.shift; !h.tlb1.AccessBlock(page) {
 		h.counts.TLB1Miss++
-		if !h.tlb2.Access(addr) {
+		if !h.tlb2.AccessBlock(page) {
 			h.counts.TLB2Miss++
 		}
 	}
-	first := uint64(addr) &^ (h.cfg.Line - 1)
-	last := (uint64(addr) + size - 1) &^ (h.cfg.Line - 1)
-	for line := first; ; line += h.cfg.Line {
-		if !h.l1.Access(mem.Addr(line)) {
+	// L1, L2, and LLC share the line geometry: one block number per line
+	// walks all three levels.
+	lineShift := h.l1.shift
+	first := a >> lineShift
+	last := (a + size - 1) >> lineShift
+	for blk := first; ; blk++ {
+		if !h.l1.AccessBlock(blk) {
 			h.counts.L1Misses++
-			if h.l2 != nil && h.l2.Access(mem.Addr(line)) {
+			if h.l2 != nil && h.l2.AccessBlock(blk) {
 				h.counts.L2Hits++
-				if line == last {
-					break
-				}
-				continue
-			}
-			if h.llc.Access(mem.Addr(line)) {
-				h.counts.LLCHits++
 			} else {
-				h.counts.LLCMisses++
-			}
-			if h.cfg.NextLinePrefetch {
-				// Install the successor line in the LLC. Prefetch
-				// traffic is tracked separately and never counted as a
-				// demand miss.
-				h.llc.Access(mem.Addr(line + h.cfg.Line))
-				h.counts.Prefetches++
+				if h.llc.AccessBlock(blk) {
+					h.counts.LLCHits++
+				} else {
+					h.counts.LLCMisses++
+				}
+				if h.cfg.NextLinePrefetch {
+					// Install the successor line in the LLC. Prefetch
+					// traffic is tracked separately (Counts.Prefetches)
+					// and installs without demand accounting, so the
+					// LLC's own accesses/misses stay demand-only.
+					h.llc.InstallBlock(blk + 1)
+					h.counts.Prefetches++
+				}
 			}
 		}
-		if line == last {
+		if blk == last {
 			break
 		}
 	}
@@ -211,12 +220,23 @@ func (c Counts) LLCMissRate() float64 {
 	return float64(c.LLCMisses) / float64(c.Accesses)
 }
 
-// TLBMissRate is combined TLB miss rate per access.
-func (c Counts) TLBMissRate() float64 {
+// TLB1MissRate is first-level TLB misses per access.
+func (c Counts) TLB1MissRate() float64 {
 	if c.Accesses == 0 {
 		return 0
 	}
 	return float64(c.TLB1Miss) / float64(c.Accesses)
+}
+
+// TLBMissRate is the combined TLB miss rate per access: misses at either
+// TLB level, so a full page walk contributes both its L1-TLB and L2-TLB
+// miss — mirroring the cost model, which charges TLB1MissCycles for
+// every first-level miss and TLB2MissCycles on top for walks.
+func (c Counts) TLBMissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.TLB1Miss+c.TLB2Miss) / float64(c.Accesses)
 }
 
 // Add accumulates other into c.

@@ -163,18 +163,23 @@ func TestCountsAdd(t *testing.T) {
 }
 
 func TestRates(t *testing.T) {
-	c := Counts{Accesses: 200, L1Misses: 50, LLCMisses: 10, TLB1Miss: 4}
+	c := Counts{Accesses: 200, L1Misses: 50, LLCMisses: 10, TLB1Miss: 4, TLB2Miss: 2}
 	if c.L1MissRate() != 0.25 {
 		t.Errorf("L1 rate %v", c.L1MissRate())
 	}
 	if c.LLCMissRate() != 0.05 {
 		t.Errorf("LLC rate %v", c.LLCMissRate())
 	}
-	if c.TLBMissRate() != 0.02 {
-		t.Errorf("TLB rate %v", c.TLBMissRate())
+	if c.TLB1MissRate() != 0.02 {
+		t.Errorf("TLB1 rate %v", c.TLB1MissRate())
+	}
+	// Combined: both levels' misses count, so the page walks (TLB2Miss)
+	// show up on top of the first-level misses.
+	if c.TLBMissRate() != 0.03 {
+		t.Errorf("combined TLB rate %v", c.TLBMissRate())
 	}
 	var zero Counts
-	if zero.L1MissRate() != 0 || zero.LLCMissRate() != 0 || zero.TLBMissRate() != 0 {
+	if zero.L1MissRate() != 0 || zero.LLCMissRate() != 0 || zero.TLBMissRate() != 0 || zero.TLB1MissRate() != 0 {
 		t.Error("zero-access rates should be 0")
 	}
 }

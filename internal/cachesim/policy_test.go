@@ -67,9 +67,9 @@ func TestRandomPolicyNeverExceedsWays(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		c.Access(mem.Addr(i * 64))
 	}
-	for _, set := range c.tags {
-		if len(set) > 2 {
-			t.Fatalf("set grew past associativity: %d", len(set))
+	for s, n := range c.fill {
+		if int(n) > c.ways {
+			t.Fatalf("set %d grew past associativity: %d", s, n)
 		}
 	}
 }

@@ -1,0 +1,46 @@
+package hds
+
+import (
+	"testing"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// benchRefs builds a reference string with embedded repetition, the shape
+// the miners see after hot-object filtering.
+func benchRefs(n int) []mem.ObjectID {
+	rng := xrand.New(3)
+	motif := randSeq(rng, 24, 12)
+	refs := make([]mem.ObjectID, 0, n)
+	for len(refs) < n {
+		if rng.Bool(0.7) {
+			refs = append(refs, motif...)
+		} else {
+			refs = append(refs, randSeq(rng, 16, 200)...)
+		}
+	}
+	return refs[:n]
+}
+
+func BenchmarkMineLCS(b *testing.B) {
+	refs := benchRefs(16384)
+	cfg := Config{Window: 64, MinLength: 4, MinFrequency: 2, MaxStreams: 16}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MineLCS(refs, cfg)
+	}
+}
+
+func BenchmarkSequiturAppend(b *testing.B) {
+	refs := benchRefs(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewSequitur()
+		for _, r := range refs {
+			g.Append(r)
+		}
+	}
+}

@@ -15,25 +15,57 @@ import (
 // O(len(a)·len(b)) dynamic program. Deterministic: on ties it prefers
 // advancing b, so equal inputs yield equal outputs across runs.
 func LCS(a, b []mem.ObjectID) []mem.ObjectID {
+	var lb lcsBuf
+	return lb.lcs(a, b)
+}
+
+// lcsBuf owns a reusable DP table so a mining loop computing thousands
+// of window-pair LCSes allocates the table once instead of per pair.
+// The zero value is ready to use.
+type lcsBuf struct {
+	dp []uint32
+}
+
+// lcs is LCS over the reusable table. The kernel walks two row slices of
+// the flat (n+1)×(m+1) table directly — no per-cell index arithmetic or
+// closure calls — and carries the row-running "left" value in a
+// register; cell values (and therefore the traceback and the returned
+// subsequence) are identical to the classic formulation.
+func (lb *lcsBuf) lcs(a, b []mem.ObjectID) []mem.ObjectID {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return nil
 	}
-	// dp is (n+1)×(m+1) flattened.
-	dp := make([]uint32, (n+1)*(m+1))
-	at := func(i, j int) uint32 { return dp[i*(m+1)+j] }
-	set := func(i, j int, v uint32) { dp[i*(m+1)+j] = v }
-	for i := 1; i <= n; i++ {
-		for j := 1; j <= m; j++ {
-			if a[i-1] == b[j-1] {
-				set(i, j, at(i-1, j-1)+1)
-			} else if at(i-1, j) >= at(i, j-1) {
-				set(i, j, at(i-1, j))
-			} else {
-				set(i, j, at(i, j-1))
-			}
+	need := (n + 1) * (m + 1)
+	if cap(lb.dp) < need {
+		lb.dp = make([]uint32, need)
+	} else {
+		// Reuse the table: only row 0 and column 0 are read before being
+		// written, so clearing just those O(n+m) cells resets it.
+		lb.dp = lb.dp[:need]
+		clear(lb.dp[:m+1])
+		for i := 1; i <= n; i++ {
+			lb.dp[i*(m+1)] = 0
 		}
 	}
+	dp := lb.dp
+	for i := 1; i <= n; i++ {
+		ai := a[i-1]
+		prev := dp[(i-1)*(m+1) : i*(m+1)]
+		row := dp[i*(m+1) : (i+1)*(m+1)]
+		var left uint32 // at(i, j-1)
+		for j := 1; j <= m; j++ {
+			v := prev[j] // at(i-1, j): ties prefer advancing b
+			if ai == b[j-1] {
+				v = prev[j-1] + 1
+			} else if left > v {
+				v = left
+			}
+			row[j] = v
+			left = v
+		}
+	}
+	at := func(i, j int) uint32 { return dp[i*(m+1)+j] }
 	out := make([]mem.ObjectID, at(n, m))
 	k := len(out)
 	for i, j := n, m; i > 0 && j > 0; {
@@ -67,7 +99,8 @@ func MineLCS(refs []mem.ObjectID, cfg Config) []Stream {
 			return nil
 		}
 		sub := LCS(refs[:half], refs[half:])
-		if len(dedupeOrdered(append([]mem.ObjectID(nil), sub...))) < cfg.MinLength {
+		// dedupeOrdered never mutates its input, so sub is passed directly.
+		if len(dedupeOrdered(sub)) < cfg.MinLength {
 			return nil
 		}
 		return rankAndTrim([]Stream{{Objects: sub, Heat: 2 * uint64(len(sub))}}, cfg)
@@ -80,6 +113,7 @@ func MineLCS(refs []mem.ObjectID, cfg Config) []Stream {
 	}
 	cands := make(map[string]*acc)
 	var order []string
+	var lb lcsBuf // one DP table reused across every window pair
 
 	lags := cfg.Lags
 	if len(lags) == 0 {
@@ -102,8 +136,8 @@ func MineLCS(refs []mem.ObjectID, cfg Config) []Stream {
 				break
 			}
 			b := refs[j*w : (j+1)*w]
-			sub := LCS(a, b)
-			members := dedupeOrdered(append([]mem.ObjectID(nil), sub...))
+			sub := lb.lcs(a, b)
+			members := dedupeOrdered(sub)
 			if len(members) < cfg.MinLength {
 				continue
 			}

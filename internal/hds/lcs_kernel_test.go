@@ -1,0 +1,96 @@
+package hds
+
+import (
+	"reflect"
+	"testing"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// naiveLCS is the original closure-indexed formulation, kept verbatim as
+// an oracle for the row-sliced kernel: identical recurrence, identical
+// tie-break (prefer advancing b), identical traceback.
+func naiveLCS(a, b []mem.ObjectID) []mem.ObjectID {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	dp := make([]uint32, (n+1)*(m+1))
+	at := func(i, j int) uint32 { return dp[i*(m+1)+j] }
+	set := func(i, j int, v uint32) { dp[i*(m+1)+j] = v }
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if a[i-1] == b[j-1] {
+				set(i, j, at(i-1, j-1)+1)
+			} else if at(i-1, j) >= at(i, j-1) {
+				set(i, j, at(i-1, j))
+			} else {
+				set(i, j, at(i, j-1))
+			}
+		}
+	}
+	out := make([]mem.ObjectID, at(n, m))
+	k := len(out)
+	for i, j := n, m; i > 0 && j > 0; {
+		switch {
+		case a[i-1] == b[j-1]:
+			k--
+			out[k] = a[i-1]
+			i--
+			j--
+		case at(i-1, j) >= at(i, j-1):
+			i--
+		default:
+			j--
+		}
+	}
+	return out
+}
+
+func randSeq(rng *xrand.Rand, n, alphabet int) []mem.ObjectID {
+	s := make([]mem.ObjectID, n)
+	for i := range s {
+		s[i] = mem.ObjectID(rng.Uint64n(uint64(alphabet)) + 1)
+	}
+	return s
+}
+
+// TestLCSKernelMatchesNaive: the optimized kernel — including the
+// reused-buffer path, where the table retains a previous pair's interior
+// cells — must return exactly the naive result, not just one of equal
+// length.
+func TestLCSKernelMatchesNaive(t *testing.T) {
+	rng := xrand.New(1234)
+	var lb lcsBuf // reused across all pairs, like MineLCS uses it
+	for trial := 0; trial < 300; trial++ {
+		n := int(rng.Uint64n(70))
+		m := int(rng.Uint64n(70))
+		a := randSeq(rng, n, 6)
+		b := randSeq(rng, m, 6)
+		want := naiveLCS(a, b)
+		if got := lb.lcs(a, b); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (reused buf): lcs(%v, %v) = %v, want %v", trial, a, b, got, want)
+		}
+		if got := LCS(a, b); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (fresh buf): got %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestLCSBufGrowsAndShrinks: a buffer sized for a big pair must still be
+// correct for a following smaller pair (the reuse path slices down and
+// clears only row 0 / column 0).
+func TestLCSBufGrowsAndShrinks(t *testing.T) {
+	rng := xrand.New(77)
+	var lb lcsBuf
+	big := randSeq(rng, 120, 4)
+	if got, want := lb.lcs(big, big), naiveLCS(big, big); !reflect.DeepEqual(got, want) {
+		t.Fatal("big pair wrong")
+	}
+	small := randSeq(rng, 9, 3)
+	other := randSeq(rng, 13, 3)
+	if got, want := lb.lcs(small, other), naiveLCS(small, other); !reflect.DeepEqual(got, want) {
+		t.Fatalf("small pair after big: got %v, want %v", got, want)
+	}
+}

@@ -34,9 +34,11 @@ type seqRule struct {
 	uses  int
 }
 
-func newRule(id int) *seqRule {
+func (s *Sequitur) newRule(id int) *seqRule {
 	r := &seqRule{id: id}
-	g := &seqSymbol{guard: true, owner: r}
+	g := s.newSymbol()
+	g.guard = true
+	g.owner = r
 	g.prev, g.next = g, g
 	r.guard = g
 	return r
@@ -61,6 +63,21 @@ type Sequitur struct {
 	rules  map[int]*seqRule
 	nextID int
 	index  map[digram]*seqSymbol // digram -> first symbol of its occurrence
+	slab   []seqSymbol           // bump-pointer arena for symbol nodes
+}
+
+// newSymbol hands out symbol nodes from a slab so one grammar build does a
+// handful of chunk allocations instead of one per input reference. Unlinked
+// symbols are never recycled — the digram index may still hold pointers to
+// them, and a stale-but-unreused node is harmless while a reused one would
+// corrupt the index.
+func (s *Sequitur) newSymbol() *seqSymbol {
+	if len(s.slab) == 0 {
+		s.slab = make([]seqSymbol, 1024)
+	}
+	sym := &s.slab[0]
+	s.slab = s.slab[1:]
+	return sym
 }
 
 // NewSequitur returns an empty grammar.
@@ -70,14 +87,15 @@ func NewSequitur() *Sequitur {
 		index:  make(map[digram]*seqSymbol),
 		nextID: 1,
 	}
-	s.root = newRule(0)
+	s.root = s.newRule(0)
 	s.rules[0] = s.root
 	return s
 }
 
 // Append feeds the next object reference into the grammar.
 func (s *Sequitur) Append(obj mem.ObjectID) {
-	sym := &seqSymbol{term: obj}
+	sym := s.newSymbol()
+	sym.term = obj
 	s.insertAfter(s.root.last(), sym)
 	s.check(sym.prev)
 }
@@ -136,12 +154,14 @@ func (s *Sequitur) check(a *seqSymbol) bool {
 		r := match.prev.owner
 		s.substitute(a, r)
 	} else {
-		r := newRule(s.nextID)
+		r := s.newRule(s.nextID)
 		s.nextID++
 		s.rules[r.id] = r
 		// Move copies of the two symbols into the rule body.
-		ra := &seqSymbol{term: match.term, rule: match.rule}
-		rb := &seqSymbol{term: match.next.term, rule: match.next.rule}
+		ra := s.newSymbol()
+		ra.term, ra.rule = match.term, match.rule
+		rb := s.newSymbol()
+		rb.term, rb.rule = match.next.term, match.next.rule
 		s.insertAfter(r.guard, ra)
 		s.insertAfter(ra, rb)
 		if ra.rule != nil {
@@ -173,7 +193,8 @@ func (s *Sequitur) substitute(a *seqSymbol, r *seqRule) {
 		s.decrementUse(b.rule)
 	}
 
-	nt := &seqSymbol{rule: r}
+	nt := s.newSymbol()
+	nt.rule = r
 	r.uses++
 	prev := a.prev
 	s.remove(a)

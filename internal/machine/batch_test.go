@@ -1,0 +1,107 @@
+package machine
+
+import (
+	"testing"
+
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// bumpAlloc is an allocation-free allocator for hot-path tests: a bump
+// pointer and fixed instruction charges, no bookkeeping.
+type bumpAlloc struct{ next mem.Addr }
+
+func (a *bumpAlloc) Name() string { return "bump" }
+func (a *bumpAlloc) Malloc(site mem.SiteID, stack mem.StackSig, size uint64) (mem.Addr, uint64) {
+	a.next += mem.Addr((size + 63) &^ 63)
+	return a.next, 100
+}
+func (a *bumpAlloc) Free(addr mem.Addr) uint64 { return 50 }
+func (a *bumpAlloc) Realloc(addr mem.Addr, size uint64) (mem.Addr, uint64) {
+	a.next += mem.Addr((size + 63) &^ 63)
+	return a.next, 150
+}
+
+// TestRecordingFreeLoopZeroAllocs: with no recorder attached, the whole
+// access + malloc/free event loop must not allocate — the fast path is
+// the hierarchy walk plus a few counter adds.
+func TestRecordingFreeLoopZeroAllocs(t *testing.T) {
+	m := New(&bumpAlloc{}, cfg())
+	var i uint64
+	if n := testing.AllocsPerRun(2000, func() {
+		a := m.Malloc(1, 64)
+		m.Write(a, 8)
+		m.Read(a+mem.Addr(i%4096), 8)
+		m.Free(a)
+		i++
+	}); n != 0 {
+		t.Errorf("recording-free loop allocates %.2f per iteration", n)
+	}
+}
+
+// TestGroupSharedRecorderOrder: machines in a group share one event
+// batch, so the recorded stream must be exactly the interleaving the
+// workload drove — not per-thread runs concatenated at flush time.
+func TestGroupSharedRecorderOrder(t *testing.T) {
+	rec := trace.NewRecorder()
+	g := NewGroup(&bumpAlloc{}, cfg(), 2, rec)
+	e0, e1 := g.Env(0), g.Env(1)
+
+	a := e0.Malloc(1, 64) // event 0: alloc site 1
+	b := e1.Malloc(2, 64) // event 1: alloc site 2
+	e0.Write(a, 8)        // event 2: write
+	e1.Read(b, 8)         // event 3: read
+	e1.Free(b)            // event 4: free b
+	e0.Free(a)            // event 5: free a
+	g.Finish()
+
+	evs := rec.Trace().Events
+	want := []struct {
+		kind trace.Kind
+		site mem.SiteID
+	}{
+		{trace.KindAlloc, 1},
+		{trace.KindAlloc, 2},
+		{trace.KindAccess, 0},
+		{trace.KindAccess, 0},
+		{trace.KindFree, 0},
+		{trace.KindFree, 0},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %d, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].Site != w.site {
+			t.Errorf("event %d = kind %v site %v, want kind %v site %v",
+				i, evs[i].Kind, evs[i].Site, w.kind, w.site)
+		}
+	}
+	if !evs[2].Write || evs[3].Write {
+		t.Error("write/read flags out of order")
+	}
+	if evs[4].Addr != b || evs[5].Addr != a {
+		t.Error("free addresses out of order")
+	}
+}
+
+// TestBatchFlushBoundary drives more events than one batch holds so the
+// mid-run flush path is exercised, and verifies nothing is lost,
+// duplicated, or reordered around the boundary.
+func TestBatchFlushBoundary(t *testing.T) {
+	rec := trace.NewRecorder()
+	m := New(&bumpAlloc{}, cfg(), WithRecorder(rec))
+	const n = batchEvents*2 + 17
+	for i := 0; i < n; i++ {
+		m.Read(mem.Addr(i*8), 8)
+	}
+	m.Finish()
+	evs := rec.Trace().Events
+	if len(evs) != n {
+		t.Fatalf("events = %d, want %d", len(evs), n)
+	}
+	for i, ev := range evs {
+		if ev.Kind != trace.KindAccess || ev.Addr != mem.Addr(i*8) {
+			t.Fatalf("event %d = %+v, want access at %#x", i, ev, i*8)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package machine
+
+import (
+	"io"
+	"testing"
+
+	"prefix/internal/mem"
+	"prefix/internal/trace"
+)
+
+// benchLoop is a representative event mix: mostly accesses with a
+// sprinkle of allocator traffic, like the table-3 workloads.
+func benchLoop(m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		if i%64 == 0 {
+			a := m.Malloc(mem.SiteID(i%7+1), 128)
+			m.Write(a, 8)
+			m.Free(a)
+			continue
+		}
+		m.Read(mem.Addr(uint64(i)*192%(16<<20)), 8)
+	}
+}
+
+func BenchmarkMachineEventLoop(b *testing.B) {
+	b.Run("recording-free", func(b *testing.B) {
+		m := New(&bumpAlloc{}, cfg())
+		b.ReportAllocs()
+		benchLoop(m, b.N)
+	})
+	b.Run("spill-recorded", func(b *testing.B) {
+		sp, err := trace.NewSpillRecorder(io.Discard, 1<<14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := New(&bumpAlloc{}, cfg(), WithRecorder(sp))
+		b.ReportAllocs()
+		benchLoop(m, b.N)
+	})
+}

@@ -124,12 +124,76 @@ func (m Metrics) BackendStallPct() float64 {
 	return 100 * m.StallCycles / m.Cycles
 }
 
+// batchEvents is the machine-side event hand-off batch size: recorded
+// events accumulate in a preallocated buffer of this many entries and
+// reach the recorder one bulk call per batch. Small enough that the
+// extra resident buffer is noise next to a trace chunk, large enough to
+// amortize the interface dispatch to well under an add per event.
+const batchEvents = 256
+
+// eventBatch batches the hand-off from a machine (or a group of
+// machines sharing one recorder) to its trace recorder. The per-event
+// cost is an append into a preallocated buffer through a concrete
+// method — no interface dispatch; the recorder's interface is crossed
+// once per batch, via RecordBatch when the recorder supports bulk
+// delivery and an event-at-a-time replay otherwise. A group's machines
+// share one batch, so the recorded interleaving is exactly the order
+// the workload drove the thread Envs in.
+type eventBatch struct {
+	rec  trace.EventRecorder
+	bulk trace.BatchRecorder // non-nil when rec accepts batches
+	buf  []trace.Event
+}
+
+func newEventBatch(rec trace.EventRecorder) *eventBatch {
+	if rec == nil {
+		return nil
+	}
+	b := &eventBatch{rec: rec, buf: make([]trace.Event, 0, batchEvents)}
+	b.bulk, _ = rec.(trace.BatchRecorder)
+	return b
+}
+
+// add appends one event, flushing when the batch fills.
+func (b *eventBatch) add(ev trace.Event) {
+	b.buf = append(b.buf, ev)
+	if len(b.buf) == cap(b.buf) {
+		b.flush()
+	}
+}
+
+// flush hands the buffered events to the recorder and empties the
+// batch, keeping its storage.
+func (b *eventBatch) flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	if b.bulk != nil {
+		b.bulk.RecordBatch(b.buf)
+	} else {
+		for i := range b.buf {
+			ev := &b.buf[i]
+			switch ev.Kind {
+			case trace.KindAlloc:
+				b.rec.Alloc(ev.Site, ev.Stack, ev.Addr, ev.Size)
+			case trace.KindFree:
+				b.rec.Free(ev.Addr)
+			case trace.KindRealloc:
+				b.rec.Realloc(ev.Addr, ev.Addr2, ev.Size)
+			case trace.KindAccess:
+				b.rec.Access(ev.Addr, ev.Size, ev.Write)
+			}
+		}
+	}
+	b.buf = b.buf[:0]
+}
+
 // Machine is a single logical hardware thread.
 type Machine struct {
 	alloc Allocator
 	hier  *cachesim.Hierarchy
 	cost  cachesim.CostModel
-	rec   trace.EventRecorder // nil when not tracing
+	rec   *eventBatch // nil when not tracing; shared across a group
 	stack callstack.Stack
 
 	m Metrics
@@ -140,8 +204,10 @@ type Option func(*Machine)
 
 // WithRecorder attaches a trace recorder (profiling runs): the
 // in-memory *trace.Recorder or the bounded-memory *trace.SpillRecorder.
+// Events reach the recorder in batches; Finish flushes the final
+// partial batch, so read the recorder only after Finish.
 func WithRecorder(r trace.EventRecorder) Option {
-	return func(m *Machine) { m.rec = r }
+	return func(m *Machine) { m.rec = newEventBatch(r) }
 }
 
 // New builds a machine over the given allocator and cache configuration.
@@ -158,12 +224,14 @@ func New(alloc Allocator, cfg cachesim.Config, opts ...Option) *Machine {
 }
 
 // newShared builds a machine whose LLC is shared (multithreaded groups).
-func newShared(alloc Allocator, cfg cachesim.Config, llc *cachesim.Cache, rec trace.EventRecorder) *Machine {
+// The event batch is shared too, so the group records one stream in
+// exactly the interleaving the workload chose.
+func newShared(alloc Allocator, cfg cachesim.Config, llc *cachesim.Cache, batch *eventBatch) *Machine {
 	return &Machine{
 		alloc: alloc,
 		hier:  cachesim.NewShared(cfg, llc),
 		cost:  cfg.Cost,
-		rec:   rec,
+		rec:   batch,
 	}
 }
 
@@ -186,7 +254,7 @@ func (m *Machine) Malloc(site mem.SiteID, size uint64) mem.Addr {
 	m.m.AllocInstr += instr
 	m.m.Mallocs++
 	if m.rec != nil {
-		m.rec.Alloc(site, m.stack.Sig(), addr, size)
+		m.rec.add(trace.Event{Kind: trace.KindAlloc, Site: site, Stack: m.stack.Sig(), Addr: addr, Size: size})
 	}
 	return addr
 }
@@ -201,7 +269,7 @@ func (m *Machine) Free(addr mem.Addr) {
 	m.m.AllocInstr += instr
 	m.m.Frees++
 	if m.rec != nil {
-		m.rec.Free(addr)
+		m.rec.add(trace.Event{Kind: trace.KindFree, Addr: addr})
 	}
 }
 
@@ -212,7 +280,7 @@ func (m *Machine) Realloc(addr mem.Addr, size uint64) mem.Addr {
 	m.m.AllocInstr += instr
 	m.m.Reallocs++
 	if m.rec != nil {
-		m.rec.Realloc(addr, na, size)
+		m.rec.add(trace.Event{Kind: trace.KindRealloc, Addr: addr, Addr2: na, Size: size})
 	}
 	return na
 }
@@ -223,25 +291,32 @@ func (m *Machine) Read(addr mem.Addr, size uint64) { m.access(addr, size, false)
 // Write implements Env.
 func (m *Machine) Write(addr mem.Addr, size uint64) { m.access(addr, size, true) }
 
+// access is the per-event hot path: a flat hierarchy walk, two metric
+// adds, and — on the recording-free path — nothing else but one nil
+// check. Recording runs append into the concrete event batch, so the
+// recorder interface is crossed once per batch, not per event.
 func (m *Machine) access(addr mem.Addr, size uint64, write bool) {
 	m.hier.Access(addr, size)
 	m.m.Instr++
 	m.m.MemInstr++
 	if m.rec != nil {
-		m.rec.Access(addr, size, write)
+		m.rec.add(trace.Event{Kind: trace.KindAccess, Addr: addr, Size: size, Write: write})
 	}
 }
 
 // Compute implements Env.
 func (m *Machine) Compute(n uint64) { m.m.Instr += n }
 
-// Finish closes the run and returns the metrics.
+// Finish closes the run and returns the metrics. It flushes the final
+// partial event batch to the recorder, so the recorded trace is
+// complete once every machine sharing the recorder has finished.
 func (m *Machine) Finish() Metrics {
 	m.m.Cache = m.hier.Counts()
 	m.m.Cycles = m.cost.Cycles(m.m.Instr-m.m.MemInstr, m.m.Cache)
 	m.m.StallCycles = m.cost.StallCycles(m.m.Cache)
 	if m.rec != nil {
-		m.rec.AddInstr(m.m.Instr)
+		m.rec.flush()
+		m.rec.rec.AddInstr(m.m.Instr)
 	}
 	return m.m
 }
@@ -261,9 +336,10 @@ type Group struct {
 // collects a single trace with the default thread count).
 func NewGroup(alloc Allocator, cfg cachesim.Config, k int, rec trace.EventRecorder) *Group {
 	llc := cachesim.SharedLLC(cfg)
+	batch := newEventBatch(rec)
 	g := &Group{}
 	for i := 0; i < k; i++ {
-		g.machines = append(g.machines, newShared(alloc, cfg, llc, rec))
+		g.machines = append(g.machines, newShared(alloc, cfg, llc, batch))
 	}
 	return g
 }

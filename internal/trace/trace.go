@@ -78,6 +78,12 @@ func (r *Recorder) Access(addr mem.Addr, size uint64, write bool) {
 	r.tr.Events = append(r.tr.Events, Event{Kind: KindAccess, Addr: addr, Size: size, Write: write})
 }
 
+// RecordBatch implements BatchRecorder: one bulk append of the batch
+// into the in-memory event slice.
+func (r *Recorder) RecordBatch(evs []Event) {
+	r.tr.Events = append(r.tr.Events, evs...)
+}
+
 // AddInstr accumulates dynamic instruction count.
 func (r *Recorder) AddInstr(n uint64) { r.tr.Instr += n }
 
