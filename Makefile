@@ -8,7 +8,7 @@ GO ?= go
 # benchmarks at reduced scale through the worker pool.
 SMOKE_ARGS = -scale bench -jobs 4 -only table3 -bench mcf,health
 
-.PHONY: check fmt vet lint build test test-short race bench bench-micro bench-smoke bench-baseline bench-gate stream-smoke perf-smoke clean
+.PHONY: check fmt vet lint build test test-short race bench bench-micro bench-smoke bench-baseline bench-gate bench-trajectory stream-smoke perf-smoke explain-smoke clean
 
 check: fmt vet lint build race
 
@@ -77,6 +77,31 @@ perf-smoke:
 	$(GO) test ./cmd/prefix-bench -run TestPerfParityAndOverhead -count=1
 	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) \
 		-baseline testdata/bench-smoke-baseline.json -regress-pct 50
+
+# Print each benchmark's events/sec and miss-rate trends across the
+# committed BENCH_*.json snapshots (no benchmarks are run).
+bench-trajectory:
+	$(GO) run ./cmd/prefix-trajectory
+
+# Explainability gate: attribution must be purely observational — the
+# smoke suite's report is byte-identical with and without -attrib (the
+# attribution-only tests assert the same for the full paper tables) —
+# and prefix-explain must produce a ledger-backed document per
+# benchmark. Artifacts land in explain-out/ for CI upload.
+explain-smoke:
+	@rm -rf explain-out && mkdir -p explain-out
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) > explain-out/plain.txt
+	$(GO) run ./cmd/prefix-bench $(SMOKE_ARGS) -attrib > explain-out/attrib.txt
+	@if cmp -s explain-out/plain.txt explain-out/attrib.txt; then \
+		echo "explain-smoke: -attrib report is byte-identical to the plain report"; \
+	else \
+		echo "explain-smoke: -attrib changed the report:"; \
+		diff explain-out/plain.txt explain-out/attrib.txt | head -40; exit 1; \
+	fi
+	$(GO) run ./cmd/prefix-explain -scale bench -jobs 4 -bench mcf,health \
+		-ledger-dir explain-out | tee explain-out/explain.txt
+	@grep -q "best variant" explain-out/explain.txt || \
+		{ echo "explain-smoke: prefix-explain produced no explanation"; exit 1; }
 
 # Streaming parity gate: the smoke suite must produce byte-identical
 # reports whether profiling traces are materialized in memory or

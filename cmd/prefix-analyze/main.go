@@ -8,6 +8,7 @@
 //	prefix-analyze -trace mcf.trace -o mcf.plan.json
 //	prefix-analyze -trace mcf.trace -variant hds -miner sequitur -v
 //	prefix-analyze -trace mcf.trace -stream -o mcf.plan.json
+//	prefix-analyze -trace mcf.trace -ledger mcf.ledger.json  # record every decision
 //	prefix-analyze -trace mcf.trace -trace-out phases.json -metrics-out plan.prom
 //
 // Both trace formats are accepted (the classic header-counted file and
@@ -43,6 +44,7 @@ func run() (err error) {
 		miner   = flag.String("miner", "lcs", "hot-data-stream miner: lcs or sequitur")
 		summary = flag.Bool("summary", false, "print the analysis summary (OHDS/RHDS) to stderr")
 		stream  = flag.Bool("stream", false, "analyze the trace incrementally without materializing it (bounded memory)")
+		ledger  = flag.String("ledger", "", "record every planning decision (classification, sharing, recycling, placement) and write the ledger JSON to this file")
 		obsf    = obsflags.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -133,10 +135,28 @@ func run() (err error) {
 
 	planSpan := root.Child("plan " + v.String())
 	cfg.Trace = planSpan
+	if *ledger != "" {
+		cfg.Ledger = core.NewLedger()
+	}
 	plan, sum, err := core.BuildPlan(a, cfg)
 	planSpan.End()
 	if err != nil {
 		return err
+	}
+
+	if *ledger != "" {
+		lf, lerr := os.Create(*ledger)
+		if lerr != nil {
+			return lerr
+		}
+		if lerr := cfg.Ledger.WriteJSON(lf); lerr != nil {
+			lf.Close()
+			return lerr
+		}
+		if lerr := lf.Close(); lerr != nil {
+			return lerr
+		}
+		fmt.Fprintf(os.Stderr, "decision ledger (%d decisions) written to %s\n", cfg.Ledger.Len(), *ledger)
 	}
 
 	if reg := sess.Metrics; reg != nil {

@@ -10,6 +10,8 @@
 //	prefix-bench -scale bench         # faster, reduced-scale runs
 //	prefix-bench -jobs 8              # parallel benchmark/seed evaluation
 //	prefix-bench -heatmap-dir out/    # also write Figure 9 CSVs
+//	prefix-bench -attrib              # per-site attribution + decision ledgers
+//	prefix-bench -attrib -only attribution   # just the attribution table
 //
 // Observability:
 //
@@ -45,14 +47,14 @@ import (
 var artifacts = []string{
 	"figure1", "figure2", "table2", "table3", "table4", "table5", "table6",
 	"figure9", "figure10", "figure11", "figure12", "figure13", "figure14",
-	"variance",
+	"variance", "attribution",
 }
 
 // comparisonArtifacts are the artifacts computed from the comparison
 // suite; -record and -baseline snapshot/diff exactly these runs.
 var comparisonArtifacts = []string{
 	"figure1", "figure2", "table2", "table3", "table4", "table5", "table6",
-	"figure11", "figure12", "figure13", "figure14",
+	"figure11", "figure12", "figure13", "figure14", "attribution",
 }
 
 func main() {
@@ -64,7 +66,7 @@ func main() {
 
 // validateArgs checks every flag combination that can be rejected before
 // any benchmark burns cycles.
-func validateArgs(only, scale string, seeds, jobs int, record bool, baseline string, regressPct float64, stream bool, streamChunk int) error {
+func validateArgs(only, scale string, seeds, jobs int, record bool, baseline string, regressPct float64, stream bool, streamChunk int, attrib bool) error {
 	if only != "" {
 		known := false
 		for _, a := range artifacts {
@@ -98,6 +100,9 @@ func validateArgs(only, scale string, seeds, jobs int, record bool, baseline str
 	if streamChunk > 0 && !stream {
 		return fmt.Errorf("-stream-chunk only applies with -stream")
 	}
+	if strings.EqualFold(only, "attribution") && !attrib {
+		return fmt.Errorf("-only attribution requires -attrib (nothing attributes misses to sites without it)")
+	}
 	if record || baseline != "" {
 		ok := only == ""
 		for _, a := range comparisonArtifacts {
@@ -128,6 +133,7 @@ func run() (err error) {
 		regressPct  = flag.Float64("regress-pct", 5, "fail the -baseline comparison when any tracked metric regresses by more than this percent")
 		stream      = flag.Bool("stream", false, "collect profiles through the bounded-memory spill-to-disk streaming path (report output is identical)")
 		streamChunk = flag.Int("stream-chunk", 0, "events per spill chunk in -stream mode (0 = default budget)")
+		attrib      = flag.Bool("attrib", false, "attribute every miss to its allocation site and record decision ledgers (simulated results are identical; adds the attribution table, the benchstore attrib section, prefix_attrib_* metrics, and /explain documents)")
 		obsf        = obsflags.Register(flag.CommandLine)
 	)
 	obsf.RegisterServe(flag.CommandLine)
@@ -136,7 +142,7 @@ func run() (err error) {
 	if *recordOut != "" {
 		*record = true
 	}
-	if err := validateArgs(*only, *scale, *seeds, *jobs, *record, *baseline, *regressPct, *stream, *streamChunk); err != nil {
+	if err := validateArgs(*only, *scale, *seeds, *jobs, *record, *baseline, *regressPct, *stream, *streamChunk, *attrib); err != nil {
 		return err
 	}
 	names, err := workloads.ResolveList(*benchList)
@@ -163,6 +169,8 @@ func run() (err error) {
 	opt.Perf = sess.Perf
 	opt.Stream = *stream
 	opt.StreamChunkEvents = *streamChunk
+	opt.Attribution = *attrib
+	opt.Explain = sess.Explain
 
 	want := func(artifact string) bool {
 		return *only == "" || strings.EqualFold(*only, artifact)
@@ -259,6 +267,14 @@ func run() (err error) {
 		{"figure14", func() error { return report.Figure14(w, cmps) }},
 	} {
 		if err := emit(fig.name, fig.f); err != nil {
+			return err
+		}
+	}
+
+	if *attrib {
+		if err := emit("attribution", func() error {
+			return report.AttributionTable(w, cmps, pipeline.ExplainTopSites)
+		}); err != nil {
 			return err
 		}
 	}

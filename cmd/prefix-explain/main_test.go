@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prefix/internal/pipeline"
+	core "prefix/internal/prefix"
+)
+
+func TestExplainText(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "swissmap", "-top", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"swissmap: best variant",
+		"planning decisions recorded",
+		"LLC misses:",
+		"site ",
+		"of LLC misses",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// At least one ledger reason line must be quoted for the top sites.
+	if !strings.Contains(text, "counter-classified") && !strings.Contains(text, "not hot enough") {
+		t.Errorf("output has no per-site rationale:\n%s", text)
+	}
+}
+
+func TestExplainJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "swissmap", "-top", "3", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var docs []*pipeline.Explain
+	if err := json.Unmarshal(out.Bytes(), &docs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(docs) != 1 || docs[0].Benchmark != "swissmap" {
+		t.Fatalf("docs = %+v", docs)
+	}
+	if docs[0].Decisions == 0 || len(docs[0].Sites) == 0 || len(docs[0].Sites) > 3 {
+		t.Errorf("doc = %+v", docs[0])
+	}
+}
+
+func TestExplainLedgerDir(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "swissmap", "-ledger-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "swissmap.ledger.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	led, err := core.ReadLedgerJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Len() == 0 {
+		t.Error("exported ledger is empty")
+	}
+}
+
+func TestExplainTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "swissmap", "-table"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Attribution: per-site LLC-miss share") {
+		t.Errorf("-table output missing the attribution table:\n%s", out.String())
+	}
+}
+
+func TestExplainArgErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); !errors.Is(err, errUsage) {
+		t.Errorf("missing -bench = %v, want usage error", err)
+	}
+	cases := map[string][]string{
+		"-scale": {"-bench", "swissmap", "-scale", "huge"},
+		"-jobs":  {"-bench", "swissmap", "-jobs", "0"},
+		"-top":   {"-bench", "swissmap", "-top", "0"},
+		"-bench": {"-bench", "nope"},
+	}
+	for name, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("%s: run(%v) = nil, want error", name, args)
+		}
+	}
+}

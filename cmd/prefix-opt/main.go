@@ -8,6 +8,7 @@
 //	prefix-opt -bench mcf                       # compare all strategies
 //	prefix-opt -bench mcf,health -jobs 2        # several benchmarks, in parallel
 //	prefix-opt -bench mcf -plan mcf.plan.json   # run a saved plan
+//	prefix-opt -bench mcf -attrib               # + per-site attribution table
 //	prefix-opt -bench mcf -metrics-out run.prom -trace-out phases.json -v
 package main
 
@@ -23,6 +24,7 @@ import (
 	"prefix/internal/obsflags"
 	"prefix/internal/pipeline"
 	core "prefix/internal/prefix"
+	"prefix/internal/report"
 	"prefix/internal/workloads"
 )
 
@@ -41,6 +43,7 @@ func run() (err error) {
 		jobs     = flag.Int("jobs", pipeline.DefaultJobs(), "run up to N benchmark evaluations concurrently (1 = serial)")
 		paperHW  = flag.Bool("paper-cache", false, "use the paper's 40MB-LLC cache geometry instead of the scaled one")
 		stream   = flag.Bool("stream", false, "collect profiles through the bounded-memory spill-to-disk streaming path (results are identical)")
+		attrib   = flag.Bool("attrib", false, "attribute misses to allocation sites and append the per-site attribution table (strategy rows are identical)")
 		obsf     = obsflags.Register(flag.CommandLine)
 	)
 	obsf.RegisterServe(flag.CommandLine)
@@ -83,25 +86,38 @@ func run() (err error) {
 	opt.Tracer = sess.Tracer
 	opt.Perf = sess.Perf
 	opt.Stream = *stream
+	opt.Attribution = *attrib
+	opt.Explain = sess.Explain
+	if *attrib && *planPath != "" {
+		return fmt.Errorf("-attrib applies to the strategy comparison, not -plan runs")
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "strategy\tcycles\tvs baseline\tL1 miss\tLLC miss\tstalls\tpeak")
 
+	var cmps []*pipeline.Comparison
 	if *planPath != "" {
 		err = runSavedPlan(tw, names[0], *planPath, opt)
 	} else {
-		err = runComparison(tw, names, opt, *jobs)
+		cmps, err = runComparison(tw, names, opt, *jobs)
 	}
 	if err != nil {
 		return err
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if *attrib {
+		fmt.Println()
+		return report.AttributionTable(os.Stdout, cmps, pipeline.ExplainTopSites)
+	}
+	return nil
 }
 
-func runComparison(tw *tabwriter.Writer, names []string, opt pipeline.Options, jobs int) error {
+func runComparison(tw *tabwriter.Writer, names []string, opt pipeline.Options, jobs int) ([]*pipeline.Comparison, error) {
 	cmps, err := pipeline.RunSuite(names, opt, jobs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for i, cmp := range cmps {
 		if len(cmps) > 1 {
@@ -125,7 +141,7 @@ func runComparison(tw *tabwriter.Writer, names []string, opt pipeline.Options, j
 		}
 		fmt.Fprintf(tw, "best\t%s\t%+.2f%%\t\t\t\t\n", cmp.Best, cmp.BestResult().TimeDeltaPct(cmp.Baseline))
 	}
-	return nil
+	return cmps, nil
 }
 
 func runSavedPlan(tw *tabwriter.Writer, bench, planPath string, opt pipeline.Options) error {

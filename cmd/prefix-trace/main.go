@@ -59,6 +59,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		stream      = fs.Bool("stream", false, "record through the bounded-memory spill recorder straight into the output file (chunked stream format)")
 		chunkEvents = fs.Int("chunk-events", trace.DefaultChunkEvents, "events buffered per chunk in -stream mode (the trace memory budget)")
 		list        = fs.Bool("list", false, "list benchmarks and exit")
+		attrib      = fs.Bool("attrib", false, "attribute the profiling run's misses to allocation sites and print the top sites (trace output is identical)")
 		obsf        = obsflags.Register(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,12 +124,16 @@ func run(args []string, stdout io.Writer) (err error) {
 	perfScope := sess.Perf.Begin("trace").AttachSpan(root)
 	defer perfScope.End()
 	if *stream {
-		return runStreaming(stdout, f, spec, cfg, *bench, *chunkEvents, sess, root, perfScope)
+		return runStreaming(stdout, f, spec, cfg, *bench, *chunkEvents, *attrib, sess, root, perfScope)
 	}
 
 	runSpan := root.Child("profile-run")
 	rec := trace.NewRecorder()
-	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), machine.WithRecorder(rec))
+	mopts := []machine.Option{machine.WithRecorder(rec)}
+	if *attrib {
+		mopts = append(mopts, machine.WithAttribution())
+	}
+	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), mopts...)
 	spec.Program.Run(m, cfg)
 	metrics := m.Finish()
 	tr := rec.Trace()
@@ -163,20 +168,39 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	fmt.Fprintf(stdout, "%s: %d events (%d allocs over %d sites, %d accesses), %d instructions -> %s\n",
 		*bench, s.Events, s.Allocs, s.Sites, s.Accesses, metrics.Instr, *out)
+	printAttrib(stdout, m.Attrib(), *bench, sess)
 	return nil
+}
+
+// printAttrib prints the attributed top sites and publishes the
+// prefix_attrib_* series; a disabled snapshot (no -attrib) is a no-op.
+func printAttrib(stdout io.Writer, a machine.AttribCounts, bench string, sess *obsflags.Session) {
+	if !a.Enabled {
+		return
+	}
+	a.Publish(sess.Metrics, "benchmark", bench, "run", "trace")
+	fmt.Fprintln(stdout, "top sites by LLC misses:")
+	for _, s := range a.Top(5) {
+		fmt.Fprintf(stdout, "  site %d: %d accesses, %d L1 misses, %d LLC misses (%.1f%% of all LLC misses)\n",
+			s.Site, s.Counts.Accesses, s.Counts.L1Misses, s.Counts.LLCMisses, a.LLCMissSharePct(s.Site))
+	}
 }
 
 // runStreaming records the run through the spill recorder directly into
 // the (already created) output file. The caller closes the file.
 func runStreaming(stdout io.Writer, f *os.File, spec workloads.Spec, cfg workloads.Config,
-	bench string, chunkEvents int, sess *obsflags.Session, root *obs.Span, perfScope *perfstat.Scope) error {
+	bench string, chunkEvents int, attrib bool, sess *obsflags.Session, root *obs.Span, perfScope *perfstat.Scope) error {
 	runSpan := root.Child("profile-run")
 	rec, err := trace.NewSpillRecorder(f, chunkEvents)
 	if err != nil {
 		runSpan.End()
 		return err
 	}
-	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), machine.WithRecorder(rec))
+	mopts := []machine.Option{machine.WithRecorder(rec)}
+	if attrib {
+		mopts = append(mopts, machine.WithAttribution())
+	}
+	m := machine.New(baselines.NewBaseline(cachesim.DefaultCost()), cachesim.ScaledConfig(), mopts...)
 	spec.Program.Run(m, cfg)
 	metrics := m.Finish()
 	if err := rec.Close(); err != nil {
@@ -198,5 +222,6 @@ func runStreaming(stdout io.Writer, f *os.File, spec workloads.Spec, cfg workloa
 	}
 	fmt.Fprintf(stdout, "%s: %d events streamed in %d chunks (peak %d buffered), %d instructions -> %s\n",
 		bench, stats.Events, stats.Chunks, stats.PeakBufferedEvents, metrics.Instr, f.Name())
+	printAttrib(stdout, m.Attrib(), bench, sess)
 	return nil
 }

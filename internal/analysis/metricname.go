@@ -23,6 +23,11 @@ import (
 // gauges end in a rate or unit word (per_sec/goroutines/bytes/nanos/
 // ratio/count), histograms in seconds/nanos/bytes.
 //
+// The prefix_attrib_ family (the per-site attribution series) carries
+// the analogous discipline: counters name what they count before _total
+// (accesses/hits/misses/prefetches/cycles/bytes/objects/decisions),
+// gauges end in share/pct/ratio/cycles/count/bytes.
+//
 // A lookup inside a loop is fine when its arguments depend on the loop
 // (a per-benchmark or per-variant label set selects a different series
 // each iteration); a loop-invariant lookup should be hoisted.
@@ -44,6 +49,19 @@ var (
 	perfCounterRE   = regexp.MustCompile(`_(nanos|bytes|events|allocs|cycles|scopes|samples)_total$`)
 	perfGaugeRE     = regexp.MustCompile(`_(per_sec|goroutines|bytes|nanos|ratio|count)$`)
 	perfHistogramRE = regexp.MustCompile(`_(seconds|nanos|bytes)$`)
+)
+
+// attribFamilyPrefix marks the per-site attribution series, which carry
+// the same discipline as the perf family: a per-site dashboard must
+// never guess what a number counts or whether a gauge is a share or a
+// cycle count.
+const attribFamilyPrefix = "prefix_attrib_"
+
+// attrib-family suffixes, per instrument kind.
+var (
+	attribCounterRE   = regexp.MustCompile(`_(accesses|hits|misses|prefetches|cycles|bytes|objects|decisions)_total$`)
+	attribGaugeRE     = regexp.MustCompile(`_(share|pct|ratio|cycles|count|bytes)$`)
+	attribHistogramRE = regexp.MustCompile(`_(seconds|nanos|bytes|cycles)$`)
 )
 
 // isRegistryMethod reports whether call is obs.Registry.Counter/Gauge/
@@ -113,6 +131,8 @@ func checkMetricCall(pass *Pass, call *ast.CallExpr, method string, stack []ast.
 				strings.ToLower(method), name)
 		case strings.HasPrefix(name, perfFamilyPrefix):
 			checkPerfFamily(pass, nameArg, method, name)
+		case strings.HasPrefix(name, attribFamilyPrefix):
+			checkAttribFamily(pass, nameArg, method, name)
 		}
 	}
 
@@ -151,6 +171,29 @@ func checkPerfFamily(pass *Pass, nameArg ast.Expr, method, name string) {
 		if !perfHistogramRE.MatchString(name) {
 			pass.Reportf(nameArg.Pos(),
 				"perf histogram %q must end in a unit suffix (seconds/nanos/bytes)", name)
+		}
+	}
+}
+
+// checkAttribFamily applies the suffix rules to prefix_attrib_ series.
+// The general rules have already passed, so a Counter here is known to
+// end in _total; what's checked is the counted-thing word in front of it.
+func checkAttribFamily(pass *Pass, nameArg ast.Expr, method, name string) {
+	switch method {
+	case "Counter":
+		if !attribCounterRE.MatchString(name) {
+			pass.Reportf(nameArg.Pos(),
+				"attrib counter %q must name what it counts before _total (accesses/hits/misses/prefetches/cycles/bytes/objects/decisions)", name)
+		}
+	case "Gauge":
+		if !attribGaugeRE.MatchString(name) {
+			pass.Reportf(nameArg.Pos(),
+				"attrib gauge %q must end in a share or unit suffix (share/pct/ratio/cycles/count/bytes)", name)
+		}
+	case "Histogram":
+		if !attribHistogramRE.MatchString(name) {
+			pass.Reportf(nameArg.Pos(),
+				"attrib histogram %q must end in a unit suffix (seconds/nanos/bytes/cycles)", name)
 		}
 	}
 }

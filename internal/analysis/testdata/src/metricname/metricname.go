@@ -60,6 +60,34 @@ func perfBadHistogramUnit(reg *obs.Registry) {
 	reg.Histogram("prefix_perf_scope_wall", obs.TimeBuckets).Observe(0.1) // want `must end in a unit suffix`
 }
 
+// attribGood covers the prefix_attrib_ per-site attribution family:
+// counters name what they count before _total, gauges a share or unit.
+func attribGood(reg *obs.Registry) {
+	reg.Counter("prefix_attrib_accesses_total").Inc()
+	reg.Counter("prefix_attrib_l1_misses_total").Inc()
+	reg.Counter("prefix_attrib_llc_misses_total").Inc()
+	reg.Counter("prefix_attrib_tlb_misses_total").Inc()
+	reg.Counter("prefix_attrib_ledger_decisions_total").Inc()
+	reg.Gauge("prefix_attrib_llc_miss_share").Set(1)
+	reg.Gauge("prefix_attrib_stall_cycles").Set(1)
+	reg.Histogram("prefix_attrib_site_bytes", obs.TimeBuckets).Observe(64)
+}
+
+// attribBadCounterNoun ends in _total but names nothing countable.
+func attribBadCounterNoun(reg *obs.Registry) {
+	reg.Counter("prefix_attrib_site_total").Inc() // want `must name what it counts before _total`
+}
+
+// attribBadGaugeSuffix carries no share or unit suffix.
+func attribBadGaugeSuffix(reg *obs.Registry) {
+	reg.Gauge("prefix_attrib_top_site").Set(1) // want `must end in a share or unit suffix`
+}
+
+// attribBadHistogramUnit carries no unit suffix.
+func attribBadHistogramUnit(reg *obs.Registry) {
+	reg.Histogram("prefix_attrib_spread", obs.TimeBuckets).Observe(1) // want `must end in a unit suffix`
+}
+
 // dynamic builds the name at run time.
 func dynamic(reg *obs.Registry, name string) {
 	reg.Counter(name).Inc() // want `compile-time constant`

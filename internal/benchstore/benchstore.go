@@ -26,10 +26,11 @@ import (
 )
 
 // Schema is the document version; bump on incompatible field changes.
-// Version 2 added the per-benchmark "host" section; version 1 documents
-// (no host stats) still load, so old baselines keep gating the simulated
-// metrics.
-const Schema = 2
+// Version 2 added the per-benchmark "host" section; version 3 the
+// optional per-benchmark "attrib" section (recorded only by attributed
+// runs). Version 1 documents (no host stats) still load, so old
+// baselines keep gating the simulated metrics.
+const Schema = 3
 
 // minReadSchema is the oldest document version Read still accepts.
 const minReadSchema = 1
@@ -70,6 +71,9 @@ type Benchmark struct {
 	// Host is the benchmark job's measured host cost (schema 2; nil in
 	// v1 documents and in runs recorded without a perfstat collector).
 	Host *HostStats `json:"host,omitempty"`
+	// Attrib is the best run's per-site attribution summary (schema 3;
+	// nil in older documents and in runs recorded without -attrib).
+	Attrib *AttribStats `json:"attrib,omitempty"`
 }
 
 // HostStats is the per-benchmark host-cost section: what the simulator
@@ -82,6 +86,22 @@ type HostStats struct {
 	AllocBytes   uint64  `json:"alloc_bytes"`
 	GCPauseNanos uint64  `json:"gc_pause_nanos"`
 	Goroutines   int     `json:"goroutines,omitempty"`
+}
+
+// AttribStats is the per-benchmark attribution section: how the best
+// run's LLC misses distribute over allocation sites. Only attributed
+// runs record it; gating on its metrics silently skips when either the
+// baseline or the run lacks the section.
+type AttribStats struct {
+	// Sites is the number of allocation sites with attributed traffic.
+	Sites int `json:"sites"`
+	// TopSite is the site with the largest LLC-miss share, and
+	// TopSiteLLCPct its share of the run's total LLC misses in percent.
+	TopSite       uint32  `json:"top_site"`
+	TopSiteLLCPct float64 `json:"top_site_llc_pct"`
+	// UnattributedLLCPct is the share of LLC misses that hit memory no
+	// tracked allocation owns (globals, stacks, freed objects).
+	UnattributedLLCPct float64 `json:"unattributed_llc_pct"`
 }
 
 // Meta is the run-level metadata recorded alongside the results.
@@ -126,6 +146,23 @@ func FromComparisons(cmps []*pipeline.Comparison, meta Meta) *Run {
 			if total := cap.MallocsAvoided + cap.FallbackMallocs; total > 0 {
 				b.CapturePct = 100 * float64(cap.MallocsAvoided) / float64(total)
 			}
+		}
+		if a := best.Attrib; a.Enabled {
+			st := &AttribStats{}
+			total := a.Total().LLCMisses
+			for _, s := range a.Sites {
+				if s.Site != 0 && s.Counts.Accesses > 0 {
+					st.Sites++
+				}
+			}
+			if top := a.Top(1); len(top) > 0 {
+				st.TopSite = uint32(top[0].Site)
+				st.TopSiteLLCPct = a.LLCMissSharePct(top[0].Site)
+			}
+			if sentinel, ok := a.Of(0); ok && total > 0 {
+				st.UnattributedLLCPct = 100 * float64(sentinel.Counts.LLCMisses) / float64(total)
+			}
+			b.Attrib = st
 		}
 		if h := c.Host; h != nil {
 			b.Host = &HostStats{
@@ -252,6 +289,25 @@ var tracked = []metric{
 		}
 		return b.Host.EventsPerSec
 	}},
+	// The attrib_* metrics gate the schema-3 attribution section. NaN
+	// marks the section absent (a run without -attrib, or a pre-v3
+	// baseline); degradation skips NaN on either side, so attribution
+	// gates only between two attributed runs. Both are deterministic
+	// simulated quantities, so they gate at the raw threshold: the
+	// hottest site's miss concentration and the share of misses escaping
+	// attribution entirely must not balloon.
+	{name: "attrib_top_site_llc_pct", higherWorse: true, get: func(b Benchmark) float64 {
+		if b.Attrib == nil {
+			return math.NaN()
+		}
+		return b.Attrib.TopSiteLLCPct
+	}},
+	{name: "attrib_unattributed_llc_pct", higherWorse: true, get: func(b Benchmark) float64 {
+		if b.Attrib == nil {
+			return math.NaN()
+		}
+		return b.Attrib.UnattributedLLCPct
+	}},
 }
 
 // Regression is one tracked metric that degraded past the threshold, or
@@ -337,8 +393,13 @@ func Compare(baseline, current *Run, regressPct float64) []Regression {
 
 // degradation returns how much worse cur is than base, in percent of
 // base, and whether it moved in the worse direction at all. A zero base
-// with a worse cur is an infinite degradation (it always gates).
+// with a worse cur is an infinite degradation (it always gates). NaN on
+// either side marks an optional section absent from that document; the
+// metric is skipped rather than gated.
 func degradation(base, cur float64, higherWorse bool) (pct float64, worse bool) {
+	if math.IsNaN(base) || math.IsNaN(cur) {
+		return 0, false
+	}
 	delta := cur - base
 	if !higherWorse {
 		delta = -delta

@@ -377,6 +377,10 @@ func TestDegradation(t *testing.T) {
 		{100, 110, false, 0, false},
 		{0, 5, true, math.Inf(1), true},
 		{0, 0, true, 0, false},
+		// NaN marks an optional section absent on one side: always skip.
+		{math.NaN(), 100, true, 0, false},
+		{100, math.NaN(), true, 0, false},
+		{math.NaN(), math.NaN(), true, 0, false},
 	}
 	for _, c := range cases {
 		pct, worse := degradation(c.base, c.cur, c.higherWorse)
@@ -439,6 +443,117 @@ func TestGateEventsPerSecRegression(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "REGRESSED  mcf: events_per_sec") {
 		t.Errorf("gate output missing events_per_sec verdict:\n%s", out.String())
+	}
+}
+
+// withAttrib attaches a schema-3 attribution section to a run's first
+// benchmark.
+func withAttrib(r *Run, topPct, unattribPct float64) *Run {
+	r.Benchmarks[0].Attrib = &AttribStats{
+		Sites: 5, TopSite: 3, TopSiteLLCPct: topPct, UnattributedLLCPct: unattribPct,
+	}
+	return r
+}
+
+// TestAttribRoundTrip: the schema-3 attribution section survives the
+// write/read cycle.
+func TestAttribRoundTrip(t *testing.T) {
+	run := withAttrib(sampleRun(), 40, 2)
+	var buf bytes.Buffer
+	if err := run.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(run, got) {
+		t.Error("attrib section lost in round trip")
+	}
+}
+
+// TestAttribGating: the attrib_* metrics gate only between two attributed
+// documents — an unattributed side (older baseline, or a run without
+// -attrib) skips them instead of reading as zero.
+func TestAttribGating(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, cur *Run
+		want      []string
+	}{
+		{"both unattributed skips", sampleRun(), sampleRun(), nil},
+		{"unattributed baseline skips", sampleRun(), withAttrib(sampleRun(), 90, 50), nil},
+		{"unattributed run skips", withAttrib(sampleRun(), 40, 2), sampleRun(), nil},
+		{
+			"attributed regression gates",
+			withAttrib(sampleRun(), 40, 2),
+			withAttrib(sampleRun(), 60, 2), // top-site share +50%
+			[]string{"mcf attrib_top_site_llc_pct"},
+		},
+		{
+			"unattributed-share regression gates",
+			withAttrib(sampleRun(), 40, 10),
+			withAttrib(sampleRun(), 40, 20), // +100%
+			[]string{"mcf attrib_unattributed_llc_pct"},
+		},
+		{
+			"attributed improvement never gates",
+			withAttrib(sampleRun(), 40, 10),
+			withAttrib(sampleRun(), 10, 1),
+			nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			regs := Compare(c.base, c.cur, 5)
+			var got []string
+			for _, r := range regs {
+				got = append(got, r.Benchmark+" "+r.Metric)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("Compare = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestFromComparisonsAttrib: an attributed comparison snapshots the
+// attribution summary; an unattributed one omits the section.
+func TestFromComparisonsAttrib(t *testing.T) {
+	best := result(900, 100, 4, 1, 1<<20)
+	best.Attrib = machine.AttribCounts{
+		Enabled: true,
+		Sites: []machine.SiteAttrib{
+			{Site: 0, Counts: cachesim.Counts{Accesses: 10, LLCMisses: 5}},
+			{Site: 3, Counts: cachesim.Counts{Accesses: 50, LLCMisses: 60}},
+			{Site: 7, Counts: cachesim.Counts{Accesses: 40, LLCMisses: 35}},
+		},
+	}
+	cmp := &pipeline.Comparison{
+		Benchmark: "mcf",
+		Baseline:  result(1000, 100, 5, 1, 0),
+		PreFix:    map[prefix.Variant]pipeline.RunResult{prefix.VariantHot: best},
+		Best:      prefix.VariantHot,
+	}
+	run := FromComparisons([]*pipeline.Comparison{cmp}, Meta{Timestamp: time.Unix(0, 0)})
+	a := run.Benchmarks[0].Attrib
+	if a == nil {
+		t.Fatal("attributed comparison produced no attrib section")
+	}
+	if a.Sites != 2 || a.TopSite != 3 {
+		t.Errorf("Sites/TopSite = %d/%d, want 2/3", a.Sites, a.TopSite)
+	}
+	if want := 60.0; a.TopSiteLLCPct != want {
+		t.Errorf("TopSiteLLCPct = %v, want %v", a.TopSiteLLCPct, want)
+	}
+	if want := 5.0; a.UnattributedLLCPct != want {
+		t.Errorf("UnattributedLLCPct = %v, want %v", a.UnattributedLLCPct, want)
+	}
+
+	cmp.PreFix[prefix.VariantHot] = result(900, 100, 4, 1, 1<<20)
+	run = FromComparisons([]*pipeline.Comparison{cmp}, Meta{Timestamp: time.Unix(0, 0)})
+	if run.Benchmarks[0].Attrib != nil {
+		t.Errorf("unattributed comparison wrote attrib = %+v, want nil", run.Benchmarks[0].Attrib)
 	}
 }
 

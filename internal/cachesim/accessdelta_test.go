@@ -1,0 +1,76 @@
+package cachesim
+
+import (
+	"testing"
+
+	"prefix/internal/mem"
+	"prefix/internal/xrand"
+)
+
+// deltaConfigs exercises AccessDelta across every hierarchy shape: the
+// paper geometry, the scaled one, and a three-level stack with an L2.
+func deltaConfigs() []Config {
+	withL2 := ScaledConfig()
+	withL2.L2Size = 256 << 10
+	withL2.L2Ways = 8
+	return []Config{PaperConfig(), ScaledConfig(), withL2}
+}
+
+// TestAccessDeltaMatchesAccess drives two identical hierarchies with the
+// same address stream — one through Access, one through AccessDelta —
+// and requires (a) identical aggregate Counts (the delta path is the
+// same walk) and (b) that the summed deltas reproduce Counts exactly
+// (every event lands in exactly one delta).
+func TestAccessDeltaMatchesAccess(t *testing.T) {
+	for ci, cfg := range deltaConfigs() {
+		plain := New(cfg)
+		attr := New(cfg)
+		rng := xrand.New(uint64(ci) + 42)
+		var sum Counts
+		for i := 0; i < 200000; i++ {
+			addr := mem.Addr(rng.Uint64() % (1 << 26))
+			size := rng.Uint64()%128 + 1
+			plain.Access(addr, size)
+			d := attr.AccessDelta(addr, size)
+			sum.Add(d)
+			if d.Accesses != 1 {
+				t.Fatalf("cfg %d: delta counted %d accesses", ci, d.Accesses)
+			}
+		}
+		if plain.Counts() != attr.Counts() {
+			t.Fatalf("cfg %d: delta path diverged: %+v vs %+v", ci, plain.Counts(), attr.Counts())
+		}
+		if sum != attr.Counts() {
+			t.Fatalf("cfg %d: summed deltas %+v != totals %+v", ci, sum, attr.Counts())
+		}
+	}
+}
+
+// TestCountsSubRoundTrip: Sub inverts Add field-by-field.
+func TestCountsSubRoundTrip(t *testing.T) {
+	a := Counts{Accesses: 10, L1Misses: 9, L2Hits: 8, LLCHits: 7, LLCMisses: 6, TLB1Miss: 5, TLB2Miss: 4, Prefetches: 3}
+	b := Counts{Accesses: 1, L1Misses: 2, L2Hits: 3, LLCHits: 4, LLCMisses: 5, TLB1Miss: 1, TLB2Miss: 2, Prefetches: 1}
+	c := a
+	c.Add(b)
+	if got := c.Sub(b); got != a {
+		t.Fatalf("Sub(Add) round trip broke: %+v != %+v", got, a)
+	}
+	if got := c.Sub(a); got != b {
+		t.Fatalf("Sub(Add) round trip broke: %+v != %+v", got, b)
+	}
+}
+
+// TestAccessDeltaZeroAllocs: the attribution walk must stay on the
+// allocation-free fast path — it is the same walk plus a struct copy.
+func TestAccessDeltaZeroAllocs(t *testing.T) {
+	h := New(ScaledConfig())
+	var i uint64
+	var sink Counts
+	if n := testing.AllocsPerRun(10000, func() {
+		sink = h.AccessDelta(mem.Addr(i*64), 8)
+		i++
+	}); n != 0 {
+		t.Errorf("AccessDelta allocates %.2f per access", n)
+	}
+	_ = sink
+}

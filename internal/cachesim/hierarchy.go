@@ -197,6 +197,18 @@ func (h *Hierarchy) Access(addr mem.Addr, size uint64) {
 	}
 }
 
+// AccessDelta is Access plus attribution: it simulates the reference and
+// returns exactly the Counts it contributed. The walk itself is the same
+// code as Access — the delta is a before/after snapshot of the totals —
+// so attribution-mode simulation produces aggregate Counts identical to
+// the plain path by construction, and every access's events land in
+// exactly one delta (summing deltas reproduces Counts()).
+func (h *Hierarchy) AccessDelta(addr mem.Addr, size uint64) Counts {
+	before := h.counts
+	h.Access(addr, size)
+	return h.counts.Sub(before)
+}
+
 // Counts returns the accumulated totals.
 func (h *Hierarchy) Counts() Counts { return h.counts }
 
@@ -249,6 +261,22 @@ func (c *Counts) Add(o Counts) {
 	c.TLB1Miss += o.TLB1Miss
 	c.TLB2Miss += o.TLB2Miss
 	c.Prefetches += o.Prefetches
+}
+
+// Sub returns the field-wise difference c-o. Callers pair it with a
+// snapshot taken before a batch of accesses to attribute just that
+// batch; o must be an earlier snapshot of the same counter set.
+func (c Counts) Sub(o Counts) Counts {
+	return Counts{
+		Accesses:   c.Accesses - o.Accesses,
+		L1Misses:   c.L1Misses - o.L1Misses,
+		L2Hits:     c.L2Hits - o.L2Hits,
+		LLCHits:    c.LLCHits - o.LLCHits,
+		LLCMisses:  c.LLCMisses - o.LLCMisses,
+		TLB1Miss:   c.TLB1Miss - o.TLB1Miss,
+		TLB2Miss:   c.TLB2Miss - o.TLB2Miss,
+		Prefetches: c.Prefetches - o.Prefetches,
+	}
 }
 
 // Cycles applies the cost model: instr covers non-memory instructions,

@@ -108,6 +108,25 @@ func (p *Pattern) CheckInstr() uint64 {
 	}
 }
 
+// Describe renders the pattern as a classification reason against the
+// observed total allocation count, e.g. "regular ids: start 3 step 2 for
+// 8 of 57 instances". Decision-ledger entries and reports use it; it is
+// purely descriptive.
+func (p *Pattern) Describe(total uint64) string {
+	switch p.Kind {
+	case KindAll:
+		return fmt.Sprintf("all ids: every one of %d instances is hot", total)
+	case KindRegular:
+		return fmt.Sprintf("regular ids: start %d step %d for %d of %d instances",
+			p.Start, p.Step, p.Count, total)
+	case KindFixed:
+		return fmt.Sprintf("fixed ids: explicit set of %d of %d instances in %d consecutive runs",
+			len(p.Set), total, runs(p.Set))
+	default:
+		return "unclassified"
+	}
+}
+
 // Size returns how many instances the pattern matches (Count semantics
 // for All are "unbounded", reported as 0).
 func (p *Pattern) Size() uint64 {
@@ -182,6 +201,18 @@ type Counter struct {
 	// profiling trace) it identifies; the planner turns this into region
 	// offsets.
 	HotIDs map[mem.Instance]mem.ObjectID
+	// Reason records why the counter got this classification (the
+	// decision-ledger "why Fixed/Regular/All" entry).
+	Reason string
+}
+
+// ShareDecision is one counter-sharing attempt from BuildAssignment's
+// greedy trace simulation: the candidate site group, whether the merged
+// ids still formed a supported pattern, and why.
+type ShareDecision struct {
+	Sites    []mem.SiteID `json:"sites"`
+	Accepted bool         `json:"accepted"`
+	Reason   string       `json:"reason"`
 }
 
 // Assignment is the full context product for a program: every relevant
@@ -190,6 +221,9 @@ type Assignment struct {
 	Counters []*Counter
 	// SiteCounter maps each instrumented site to its counter index.
 	SiteCounter map[mem.SiteID]int
+	// Trail records every sharing attempt (accepted extensions and the
+	// rejections that closed a group), in trace-simulation order.
+	Trail []ShareDecision
 }
 
 // NumSites returns the number of instrumented malloc sites (the Table 2

@@ -97,7 +97,9 @@ func BuildAssignment(allocs []AllocRecord, cfg ShareConfig) (*Assignment, error)
 	group := []mem.SiteID{sites[0]}
 	for _, s := range sites[1:] {
 		candidate := append(append([]mem.SiteID(nil), group...), s)
-		if _, _, ok := simulateShared(allocs, candidate, cfg); ok {
+		_, _, reason, ok := simulateShared(allocs, candidate, cfg)
+		asn.Trail = append(asn.Trail, ShareDecision{Sites: candidate, Accepted: ok, Reason: reason})
+		if ok {
 			group = candidate
 			continue
 		}
@@ -114,7 +116,7 @@ func BuildAssignment(allocs []AllocRecord, cfg ShareConfig) (*Assignment, error)
 
 // closeGroup finalizes one counter group.
 func (a *Assignment) closeGroup(allocs []AllocRecord, group []mem.SiteID, cfg ShareConfig) error {
-	pat, hotIDs, ok := simulateShared(allocs, group, cfg)
+	pat, hotIDs, reason, ok := simulateShared(allocs, group, cfg)
 	if !ok && len(group) > 1 {
 		return fmt.Errorf("context: internal error: accepted group %v fails simulation", group)
 	}
@@ -139,12 +141,14 @@ func (a *Assignment) closeGroup(allocs []AllocRecord, group []mem.SiteID, cfg Sh
 			return err
 		}
 		pat = p
+		reason = fmt.Sprintf("%s; kept despite sharing caps (%s)", pat.Describe(uint64(n)), reason)
 	}
 	c := &Counter{
 		ID:      len(a.Counters),
 		Sites:   append([]mem.SiteID(nil), group...),
 		Pattern: pat,
 		HotIDs:  hotIDs,
+		Reason:  reason,
 	}
 	a.Counters = append(a.Counters, c)
 	for _, s := range group {
@@ -155,8 +159,9 @@ func (a *Assignment) closeGroup(allocs []AllocRecord, group []mem.SiteID, cfg Sh
 
 // simulateShared replays the allocation trace with one counter shared by
 // the given sites and reports whether the hot ids form an acceptable
-// pattern.
-func simulateShared(allocs []AllocRecord, sites []mem.SiteID, cfg ShareConfig) (Pattern, map[mem.Instance]mem.ObjectID, bool) {
+// pattern. The returned reason explains the verdict either way and feeds
+// the decision ledger.
+func simulateShared(allocs []AllocRecord, sites []mem.SiteID, cfg ShareConfig) (Pattern, map[mem.Instance]mem.ObjectID, string, bool) {
 	member := make(map[mem.SiteID]bool, len(sites))
 	for _, s := range sites {
 		member[s] = true
@@ -175,7 +180,9 @@ func simulateShared(allocs []AllocRecord, sites []mem.SiteID, cfg ShareConfig) (
 			if r.Site == lastSite {
 				sameRun++
 				if sameRun > cfg.MaxTandemRun {
-					return Pattern{}, nil, false // sites not in tandem
+					return Pattern{}, nil, fmt.Sprintf(
+						"sites not in tandem: site %d allocated %d consecutive objects (max %d)",
+						r.Site, sameRun, cfg.MaxTandemRun), false
 				}
 			} else {
 				lastSite, sameRun = r.Site, 1
@@ -187,21 +194,28 @@ func simulateShared(allocs []AllocRecord, sites []mem.SiteID, cfg ShareConfig) (
 		}
 	}
 	if len(hot) == 0 {
-		return Pattern{}, nil, false
+		return Pattern{}, nil, "no hot allocations under the shared counter", false
 	}
 	pat, err := Infer(hot, uint64(counter))
 	if err != nil {
-		return Pattern{}, nil, false
+		return Pattern{}, nil, err.Error(), false
 	}
 	switch pat.Kind {
 	case KindAll, KindRegular:
-		return pat, hotIDs, true
+		return pat, hotIDs, pat.Describe(uint64(counter)), true
 	case KindFixed:
-		if len(pat.Set) <= cfg.MaxFixed && runs(pat.Set) <= cfg.MaxRuns {
-			return pat, hotIDs, true
+		if len(pat.Set) > cfg.MaxFixed {
+			return Pattern{}, nil, fmt.Sprintf(
+				"merged fixed set of %d ids exceeds cap %d", len(pat.Set), cfg.MaxFixed), false
 		}
+		if r := runs(pat.Set); r > cfg.MaxRuns {
+			return Pattern{}, nil, fmt.Sprintf(
+				"merged ids fragment into %d consecutive runs (max %d): sites do not allocate in tandem",
+				r, cfg.MaxRuns), false
+		}
+		return pat, hotIDs, pat.Describe(uint64(counter)), true
 	}
-	return Pattern{}, nil, false
+	return Pattern{}, nil, "merged ids reveal no supported pattern", false
 }
 
 // runs counts maximal consecutive-integer stretches in a sorted id set.

@@ -18,6 +18,23 @@ import (
 	"prefix/internal/mem"
 )
 
+// ReconStep is one Algorithm-1 action, recorded in input-stream order so
+// the decision ledger can say exactly why each observed stream was kept,
+// merged, split, or dropped.
+type ReconStep struct {
+	// Action is "seed", "unchanged", "drop", "merge", "split", or
+	// "singleton".
+	Action string `json:"action"`
+	// Stream is the input OHDS index the action consumed.
+	Stream int `json:"stream"`
+	// Target is the output RHDS index affected, -1 for drop/singleton.
+	Target int `json:"target"`
+	// Objects is how many objects the action contributed to the layout.
+	Objects int `json:"objects"`
+	// Reason explains the action in Algorithm 1's terms.
+	Reason string `json:"reason"`
+}
+
 // Reconstitution is the output of Algorithm 1.
 type Reconstitution struct {
 	// RHDS are the reconstituted streams, in construction order; placement
@@ -31,6 +48,8 @@ type Reconstitution struct {
 	// Merged counts merge actions, Split counts split actions, Unchanged
 	// counts unchanged inclusions (for the Figure 2 style summary).
 	Merged, Split, Unchanged int
+	// Steps is the per-input-stream action log, one entry per OHDS.
+	Steps []ReconStep
 }
 
 // objectSet builds a membership set over a stream list.
@@ -56,8 +75,13 @@ func Reconstitute(ohds []hds.Stream) *Reconstitution {
 	rhds := []hds.Stream{cloneStream(ohds[0])}
 	merged := []bool{false} // per-RHDS one-shot merge flag
 	covered := objectSet(rhds)
+	rec.Steps = append(rec.Steps, ReconStep{
+		Action: "seed", Stream: 0, Target: 0, Objects: len(ohds[0].Objects),
+		Reason: fmt.Sprintf("hottest observed stream (%d refs) seeds the layout", ohds[0].Heat),
+	})
 
-	for _, current := range ohds[1:] {
+	for si, current := range ohds[1:] {
+		si++ // input OHDS index
 		// remaining ← Objects(current) − Objects(RHDS)
 		var remaining []mem.ObjectID
 		overlap := false
@@ -70,6 +94,10 @@ func Reconstitute(ohds []hds.Stream) *Reconstitution {
 		}
 		if len(remaining) == 0 {
 			rec.Dropped++ // nothing to do: fully covered already
+			rec.Steps = append(rec.Steps, ReconStep{
+				Action: "drop", Stream: si, Target: -1,
+				Reason: fmt.Sprintf("all %d objects already covered by hotter streams", len(current.Objects)),
+			})
 			continue
 		}
 		if !overlap {
@@ -80,6 +108,10 @@ func Reconstitute(ohds []hds.Stream) *Reconstitution {
 				covered[o] = true
 			}
 			rec.Unchanged++
+			rec.Steps = append(rec.Steps, ReconStep{
+				Action: "unchanged", Stream: si, Target: len(rhds) - 1, Objects: len(current.Objects),
+				Reason: "disjoint from every placed stream; included unchanged",
+			})
 			continue
 		}
 		// Splitting/merging: append the remaining objects to the first
@@ -99,6 +131,11 @@ func Reconstitute(ohds []hds.Stream) *Reconstitution {
 				}
 				done = true
 				rec.Merged++
+				rec.Steps = append(rec.Steps, ReconStep{
+					Action: "merge", Stream: si, Target: i, Objects: len(remaining),
+					Reason: fmt.Sprintf("shares objects with RHDS[%d]; %d uncovered objects appended there",
+						i, len(remaining)),
+				})
 				break
 			}
 		}
@@ -112,12 +149,22 @@ func Reconstitute(ohds []hds.Stream) *Reconstitution {
 					covered[o] = true
 				}
 				rec.Split++
+				rec.Steps = append(rec.Steps, ReconStep{
+					Action: "split", Stream: si, Target: len(rhds) - 1, Objects: len(remaining),
+					Reason: fmt.Sprintf("overlapping streams already merged; %d uncovered objects form a new stream",
+						len(remaining)),
+				})
 			} else {
 				// A single leftover object becomes a hot singleton at the
 				// end of the preallocated region.
 				rec.Singletons = append(rec.Singletons, remaining[0])
 				covered[remaining[0]] = true
 				rec.Split++
+				rec.Steps = append(rec.Steps, ReconStep{
+					Action: "singleton", Stream: si, Target: -1, Objects: 1,
+					Reason: fmt.Sprintf("split left only %v uncovered; placed as a singleton after the streams",
+						remaining[0]),
+				})
 			}
 		}
 	}

@@ -9,6 +9,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"prefix/internal/cachesim"
 	"prefix/internal/callstack"
@@ -190,11 +191,12 @@ func (b *eventBatch) flush() {
 
 // Machine is a single logical hardware thread.
 type Machine struct {
-	alloc Allocator
-	hier  *cachesim.Hierarchy
-	cost  cachesim.CostModel
-	rec   *eventBatch // nil when not tracing; shared across a group
-	stack callstack.Stack
+	alloc  Allocator
+	hier   *cachesim.Hierarchy
+	cost   cachesim.CostModel
+	rec    *eventBatch // nil when not tracing; shared across a group
+	attrib *attrib     // nil unless WithAttribution
+	stack  callstack.Stack
 
 	m Metrics
 }
@@ -208,6 +210,15 @@ type Option func(*Machine)
 // partial batch, so read the recorder only after Finish.
 func WithRecorder(r trace.EventRecorder) Option {
 	return func(m *Machine) { m.rec = newEventBatch(r) }
+}
+
+// WithAttribution enables per-site attribution: every cache/TLB event is
+// charged to the malloc site owning the touched address, readable via
+// Attrib after the run. Costs one range lookup per access and O(live
+// allocations + sites) memory; machines without it keep the
+// zero-allocation fast path.
+func WithAttribution() Option {
+	return func(m *Machine) { m.attrib = newAttrib() }
 }
 
 // New builds a machine over the given allocator and cache configuration.
@@ -253,6 +264,9 @@ func (m *Machine) Malloc(site mem.SiteID, size uint64) mem.Addr {
 	m.m.Instr += instr
 	m.m.AllocInstr += instr
 	m.m.Mallocs++
+	if m.attrib != nil {
+		m.attrib.register(site, addr, size)
+	}
 	if m.rec != nil {
 		m.rec.add(trace.Event{Kind: trace.KindAlloc, Site: site, Stack: m.stack.Sig(), Addr: addr, Size: size})
 	}
@@ -268,6 +282,9 @@ func (m *Machine) Free(addr mem.Addr) {
 	m.m.Instr += instr
 	m.m.AllocInstr += instr
 	m.m.Frees++
+	if m.attrib != nil {
+		m.attrib.unregister(addr)
+	}
 	if m.rec != nil {
 		m.rec.add(trace.Event{Kind: trace.KindFree, Addr: addr})
 	}
@@ -279,6 +296,9 @@ func (m *Machine) Realloc(addr mem.Addr, size uint64) mem.Addr {
 	m.m.Instr += instr
 	m.m.AllocInstr += instr
 	m.m.Reallocs++
+	if m.attrib != nil {
+		m.attrib.realloc(addr, na, size)
+	}
 	if m.rec != nil {
 		m.rec.add(trace.Event{Kind: trace.KindRealloc, Addr: addr, Addr2: na, Size: size})
 	}
@@ -296,7 +316,13 @@ func (m *Machine) Write(addr mem.Addr, size uint64) { m.access(addr, size, true)
 // check. Recording runs append into the concrete event batch, so the
 // recorder interface is crossed once per batch, not per event.
 func (m *Machine) access(addr mem.Addr, size uint64, write bool) {
-	m.hier.Access(addr, size)
+	if m.attrib == nil {
+		m.hier.Access(addr, size)
+	} else {
+		// Attribution mode walks the identical Access path; the delta is
+		// a snapshot subtract, so aggregate Counts cannot diverge.
+		m.attrib.observe(addr, m.hier.AccessDelta(addr, size))
+	}
 	m.m.Instr++
 	m.m.MemInstr++
 	if m.rec != nil {
@@ -319,6 +345,22 @@ func (m *Machine) Finish() Metrics {
 		m.rec.rec.AddInstr(m.m.Instr)
 	}
 	return m.m
+}
+
+// Attrib returns the run's per-site attribution snapshot. Machines built
+// without WithAttribution return the zero (Enabled false) snapshot, so
+// callers never branch on the mode.
+func (m *Machine) Attrib() AttribCounts {
+	if m.attrib == nil {
+		return AttribCounts{}
+	}
+	a := m.attrib
+	out := AttribCounts{Enabled: true, Sites: make([]SiteAttrib, len(a.cells))}
+	for i, c := range a.cells {
+		out.Sites[i] = SiteAttrib{Site: a.sites[i], Counts: c, StallCycles: m.cost.StallCycles(c)}
+	}
+	sort.Slice(out.Sites, func(i, j int) bool { return out.Sites[i].Site < out.Sites[j].Site })
+	return out
 }
 
 var _ Env = (*Machine)(nil)

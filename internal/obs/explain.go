@@ -1,0 +1,56 @@
+package obs
+
+import "sync"
+
+// ExplainStore is a race-safe keyed document store for explainability
+// artifacts: the pipeline puts per-benchmark attribution/ledger documents
+// in, and the observability server's /explain endpoint snapshots them
+// out. Like the rest of the obs kit it is nil-safe, so producers and
+// consumers never branch on whether explainability is wired up. Values
+// are stored as opaque documents (anything JSON-encodable) so obs does
+// not depend on the pipeline's types.
+type ExplainStore struct {
+	mu   sync.Mutex
+	docs map[string]any
+}
+
+// NewExplainStore returns an empty store.
+func NewExplainStore() *ExplainStore {
+	return &ExplainStore{docs: make(map[string]any)}
+}
+
+// Put stores doc under key, replacing any previous document. No-op on a
+// nil store.
+func (s *ExplainStore) Put(key string, doc any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[key] = doc
+}
+
+// Len returns the number of stored documents (0 for nil).
+func (s *ExplainStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.docs)
+}
+
+// Snapshot returns a copy of the current documents; empty (non-nil) for
+// a nil store, so encoders render {} rather than null.
+func (s *ExplainStore) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.docs {
+		out[k] = v
+	}
+	return out
+}

@@ -7,6 +7,7 @@
 //	/status         JSON view of the parallel harness's job states
 //	/trace          Chrome trace-event JSON of the live span tree
 //	/perf           JSON host-cost snapshot (throughput, GC, per-phase)
+//	/explain        per-benchmark attribution + decision-ledger documents
 //	/debug/pprof/*  the Go runtime profiles of the harness process
 //
 // The server is read-only and snapshot-based: every request renders the
@@ -36,6 +37,7 @@ type Config struct {
 	Tracer   *obs.Tracer
 	Tracker  *obs.JobTracker
 	Perf     *perfstat.Collector
+	Explain  *obs.ExplainStore
 }
 
 // NewHandler returns the observability mux. Exposed separately from
@@ -56,6 +58,7 @@ func NewHandler(cfg Config) http.Handler {
 			"/status         parallel-harness job states (JSON)\n"+
 			"/trace          Chrome trace-event JSON of the live span tree\n"+
 			"/perf           host-cost snapshot: throughput, GC, per-phase (JSON)\n"+
+			"/explain        per-benchmark attribution + decision ledger (JSON)\n"+
 			"/debug/pprof/   Go runtime profiles\n")
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -84,6 +87,11 @@ func NewHandler(cfg Config) http.Handler {
 		// Snapshot renders the zero document on a nil collector, so the
 		// endpoint is well-formed before any scope has finished.
 		writeJSON(w, cfg.Perf.Snapshot())
+	})
+	mux.HandleFunc("/explain", func(w http.ResponseWriter, r *http.Request) {
+		// Snapshot is {} on a nil store, so the endpoint is well-formed
+		// when the run is not attributed (or has not finished a benchmark).
+		writeJSON(w, cfg.Explain.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

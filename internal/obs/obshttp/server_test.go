@@ -34,7 +34,7 @@ func TestIndex(t *testing.T) {
 	if res.StatusCode != http.StatusOK {
 		t.Fatalf("GET / = %d", res.StatusCode)
 	}
-	for _, want := range []string{"/metrics", "/healthz", "/status", "/trace", "/perf", "/debug/pprof"} {
+	for _, want := range []string{"/metrics", "/healthz", "/status", "/trace", "/perf", "/explain", "/debug/pprof"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("index missing %s:\n%s", want, body)
 		}
@@ -160,6 +160,81 @@ func TestPerfNilCollector(t *testing.T) {
 	}
 }
 
+func TestExplain(t *testing.T) {
+	st := obs.NewExplainStore()
+	st.Put("mcf", map[string]any{"variant": "prefix:hds+hot"})
+	res, body := get(t, NewHandler(Config{Explain: st}), "/explain")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET /explain = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want JSON", ct)
+	}
+	var docs map[string]map[string]any
+	if err := json.Unmarshal([]byte(body), &docs); err != nil {
+		t.Fatalf("explain is not JSON: %v\n%s", err, body)
+	}
+	if docs["mcf"]["variant"] != "prefix:hds+hot" {
+		t.Errorf("explain docs = %v", docs)
+	}
+}
+
+// TestExplainNilStore: without a store the endpoint serves {} (not null),
+// so an unattributed run's server stays fully well-formed.
+func TestExplainNilStore(t *testing.T) {
+	res, body := get(t, NewHandler(Config{}), "/explain")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("nil-store /explain = %d", res.StatusCode)
+	}
+	var docs map[string]any
+	if err := json.Unmarshal([]byte(body), &docs); err != nil {
+		t.Fatalf("nil-store /explain is not JSON: %v\n%s", err, body)
+	}
+	if docs == nil || len(docs) != 0 {
+		t.Errorf("nil-store /explain = %q, want {}", body)
+	}
+}
+
+// TestExplainConcurrentMutation scrapes /explain while producers rewrite
+// the store; `go test -race` doubles it as the mutation race test. Every
+// response must be a complete, valid document.
+func TestExplainConcurrentMutation(t *testing.T) {
+	st := obs.NewExplainStore()
+	h := NewHandler(Config{Explain: st})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st.Put(fmt.Sprintf("bench-%d", w), map[string]any{"round": 0})
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st.Put(fmt.Sprintf("bench-%d", w), map[string]any{"round": i})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		res, body := get(t, h, "/explain")
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("GET /explain = %d mid-mutation", res.StatusCode)
+		}
+		var docs map[string]any
+		if err := json.Unmarshal([]byte(body), &docs); err != nil {
+			t.Fatalf("mid-mutation /explain not valid JSON: %v\n%s", err, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st.Len() != 4 {
+		t.Errorf("store len = %d, want 4", st.Len())
+	}
+}
+
 func TestPprofIndex(t *testing.T) {
 	res, body := get(t, NewHandler(Config{}), "/debug/pprof/")
 	if res.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
@@ -232,7 +307,8 @@ func TestServeLiveSuite(t *testing.T) {
 	tr := obs.NewTracer()
 	jt := obs.NewJobTracker()
 	pc := perfstat.New(reg)
-	srv, err := Serve("127.0.0.1:0", Config{Registry: reg, Tracer: tr, Tracker: jt, Perf: pc})
+	es := obs.NewExplainStore()
+	srv, err := Serve("127.0.0.1:0", Config{Registry: reg, Tracer: tr, Tracker: jt, Perf: pc, Explain: es})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,6 +320,8 @@ func TestServeLiveSuite(t *testing.T) {
 	opt.Metrics = reg
 	opt.Tracer = tr
 	opt.Perf = pc
+	opt.Attribution = true
+	opt.Explain = es
 	opt.Progress = func(ev obs.JobEvent) { jt.Observe(ev) }
 
 	stop := make(chan struct{})
@@ -258,7 +336,7 @@ func TestServeLiveSuite(t *testing.T) {
 					return
 				default:
 				}
-				for _, path := range []string{"/metrics", "/status", "/trace", "/perf", "/healthz"} {
+				for _, path := range []string{"/metrics", "/status", "/trace", "/perf", "/explain", "/healthz"} {
 					res, err := http.Get(base + path)
 					if err != nil {
 						t.Errorf("GET %s: %v", path, err)
@@ -338,6 +416,25 @@ func TestServeLiveSuite(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "prefix_perf_events_total") {
 		t.Errorf("/metrics after run missing prefix_perf_events_total series")
+	}
+	// The attributed run published the per-site series and one explain
+	// document per benchmark.
+	if !strings.Contains(string(body), "prefix_attrib_llc_misses_total") {
+		t.Errorf("/metrics after attributed run missing prefix_attrib_llc_misses_total series")
+	}
+	res, err = http.Get(base + "/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docs map[string]json.RawMessage
+	if err := json.NewDecoder(res.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	for _, name := range names {
+		if _, ok := docs[name]; !ok {
+			t.Errorf("/explain missing document for %s (have %d docs)", name, len(docs))
+		}
 	}
 }
 

@@ -44,7 +44,7 @@ func Register(fs *flag.FlagSet) *Flags {
 // RegisterServe additionally adds -serve (the live observability server;
 // only the long-running harness commands register it).
 func (f *Flags) RegisterServe(fs *flag.FlagSet) {
-	fs.StringVar(&f.Serve, "serve", "", "serve live observability for the duration of the run on this address (e.g. :8080): /metrics, /status, /trace, /perf, /healthz, /debug/pprof")
+	fs.StringVar(&f.Serve, "serve", "", "serve live observability for the duration of the run on this address (e.g. :8080): /metrics, /status, /trace, /perf, /explain, /healthz, /debug/pprof")
 }
 
 // Session is the live observability state behind the flags. Metrics,
@@ -59,6 +59,10 @@ type Session struct {
 	// table and the /perf endpoint read from it, and when Metrics is
 	// live it publishes the prefix_perf_* series there too.
 	Perf *perfstat.Collector
+	// Explain backs the /explain endpoint; created only when -serve is
+	// live (the CLIs hand it to the pipeline, which fills it per
+	// benchmark when attribution is on).
+	Explain *obs.ExplainStore
 
 	flags   *Flags
 	cpuFile *os.File
@@ -80,11 +84,13 @@ func (f *Flags) Start() (*Session, error) {
 	s.Perf = perfstat.New(s.Metrics)
 	if f.Serve != "" {
 		s.Tracker = obs.NewJobTracker()
+		s.Explain = obs.NewExplainStore()
 		srv, err := obshttp.Serve(f.Serve, obshttp.Config{
 			Registry: s.Metrics,
 			Tracer:   s.Tracer,
 			Tracker:  s.Tracker,
 			Perf:     s.Perf,
+			Explain:  s.Explain,
 		})
 		if err != nil {
 			return nil, err

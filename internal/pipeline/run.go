@@ -18,6 +18,9 @@ type RunResult struct {
 	Strategy  string
 	Metrics   machine.Metrics
 	PeakBytes uint64
+	// Attrib is the per-site attribution snapshot (Enabled only when the
+	// run executed with Options.Attribution).
+	Attrib machine.AttribCounts
 	// Pollution is set for the HDS and HALO baselines (Table 4).
 	Pollution *baselines.Pollution
 	// Capture is set for PreFix runs (Tables 5 and 6).
@@ -54,9 +57,12 @@ func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bo
 		rec = trace.NewRecorder()
 		mopts = append(mopts, machine.WithRecorder(rec))
 	}
+	if opt.Attribution {
+		mopts = append(mopts, machine.WithAttribution())
+	}
 	m := machine.New(alloc, opt.Cache, mopts...)
 	spec.Program.Run(m, evalConfig(spec, opt))
-	res := RunResult{Strategy: alloc.Name(), Metrics: m.Finish()}
+	res := RunResult{Strategy: alloc.Name(), Metrics: m.Finish(), Attrib: m.Attrib()}
 	if rec != nil {
 		res.Trace = rec.Trace()
 	}
@@ -84,6 +90,7 @@ func runOne(spec workloads.Spec, opt Options, alloc machine.Allocator, record bo
 	if reg != nil {
 		res.Metrics.Publish(reg, kv...)
 		reg.Gauge("prefix_run_peak_bytes", kv...).Set(float64(res.PeakBytes))
+		res.Attrib.Publish(reg, kv...)
 	}
 	span.Set("cycles", res.Metrics.Cycles)
 	span.Set("instructions", res.Metrics.Instr)
@@ -198,6 +205,9 @@ func compareStrategies(spec workloads.Spec, opt Options, prof *Profile, root *ob
 		cfg.Variant = v
 		planSpan := root.Child("plan " + v.String())
 		cfg.Trace = planSpan
+		if opt.Attribution {
+			cfg.Ledger = prefix.NewLedger()
+		}
 		plan, sum, err := prefix.BuildPlanFromHot(prof.Analysis, prof.Hot, cfg)
 		if err != nil {
 			planSpan.End()

@@ -1,0 +1,126 @@
+package prefix
+
+import (
+	"encoding/json"
+	"io"
+
+	"prefix/internal/mem"
+)
+
+// Ledger stages, in pipeline order.
+const (
+	StageMining         = "hds-mining"
+	StageReconstitution = "reconstitution"
+	StageContext        = "context"
+	StageRecycling      = "recycling"
+	StagePlacement      = "placement"
+)
+
+// Decision is one recorded planning choice: a typed kind, the entities it
+// concerns, and a human-readable reason. Counter is the plan counter
+// index the decision belongs to, -1 when the decision is not
+// counter-scoped (mining, reconstitution, truncation).
+type Decision struct {
+	Stage   string       `json:"stage"`
+	Kind    string       `json:"kind"`
+	Counter int          `json:"counter"`
+	Sites   []mem.SiteID `json:"sites,omitempty"`
+	Object  mem.ObjectID `json:"object,omitempty"`
+	Offset  uint64       `json:"offset,omitempty"`
+	Size    uint64       `json:"size,omitempty"`
+	Reason  string       `json:"reason"`
+}
+
+// Ledger is the planner's decision record: every choice BuildPlanFromHot
+// makes — classification, sharing, reconstitution actions, recycling
+// geometry, slot placement, budget truncation — appended in planning
+// order. Planning is deterministic, so the ledger is too: the same trace
+// and config always produce the identical sequence. A nil *Ledger is a
+// valid "don't record" sink, so the planner never branches.
+type Ledger struct {
+	Decisions []Decision `json:"decisions"`
+}
+
+// NewLedger returns an empty recording ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Record appends one decision; no-op on a nil ledger.
+func (l *Ledger) Record(d Decision) {
+	if l == nil {
+		return
+	}
+	l.Decisions = append(l.Decisions, d)
+}
+
+// Len returns the number of recorded decisions (0 for nil).
+func (l *Ledger) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Decisions)
+}
+
+// ForSite returns every decision that names the site, in recording order.
+func (l *Ledger) ForSite(site mem.SiteID) []Decision {
+	if l == nil {
+		return nil
+	}
+	var out []Decision
+	for _, d := range l.Decisions {
+		for _, s := range d.Sites {
+			if s == site {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ForCounter returns every decision scoped to the plan counter index.
+func (l *Ledger) ForCounter(ci int) []Decision {
+	if l == nil {
+		return nil
+	}
+	var out []Decision
+	for _, d := range l.Decisions {
+		if d.Counter == ci {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Stage returns every decision of one stage, in recording order.
+func (l *Ledger) Stage(stage string) []Decision {
+	if l == nil {
+		return nil
+	}
+	var out []Decision
+	for _, d := range l.Decisions {
+		if d.Stage == stage {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteJSON serializes the ledger (deterministically — slice order is
+// recording order) for export and the prefix-analyze -ledger flag.
+func (l *Ledger) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if l == nil {
+		return enc.Encode(&Ledger{})
+	}
+	return enc.Encode(l)
+}
+
+// ReadLedgerJSON parses a ledger written by WriteJSON.
+func ReadLedgerJSON(r io.Reader) (*Ledger, error) {
+	var l Ledger
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}

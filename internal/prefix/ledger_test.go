@@ -1,0 +1,179 @@
+package prefix
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"prefix/internal/mem"
+)
+
+// buildLedger plans the synthetic trace with recording enabled.
+func buildLedger(t *testing.T, mutate func(*PlanConfig)) (*Plan, *Ledger) {
+	t.Helper()
+	cfg := DefaultPlanConfig("synth", VariantHDSHot)
+	cfg.Ledger = NewLedger()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	plan, sum, err := BuildPlan(synthTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ledger != cfg.Ledger {
+		t.Fatal("summary does not carry the ledger")
+	}
+	return plan, cfg.Ledger
+}
+
+// TestLedgerCoversEveryStage: a recorded plan build leaves decisions in
+// every pipeline stage, every counter has a classification entry, and
+// every statically placed object has a slot-assigned entry with its
+// offset and a reason.
+func TestLedgerCoversEveryStage(t *testing.T) {
+	plan, led := buildLedger(t, nil)
+
+	for _, stage := range []string{StageMining, StageReconstitution, StageContext, StageRecycling, StagePlacement} {
+		if len(led.Stage(stage)) == 0 {
+			t.Errorf("no decisions recorded for stage %q", stage)
+		}
+	}
+	for ci := range plan.Counters {
+		found := false
+		for _, d := range led.ForCounter(ci) {
+			if d.Kind == "counter-classified" {
+				found = true
+				if d.Reason == "" {
+					t.Errorf("counter %d classified without a reason", ci)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("counter %d has no classification decision", ci)
+		}
+	}
+
+	placed := 0
+	for _, d := range led.Stage(StagePlacement) {
+		if d.Kind == "slot-assigned" {
+			placed++
+			if d.Reason == "" || len(d.Sites) == 0 {
+				t.Errorf("placement decision without reason/site: %+v", d)
+			}
+		}
+	}
+	if placed != plan.PlacedObjects {
+		t.Errorf("placement decisions %d != placed objects %d", placed, plan.PlacedObjects)
+	}
+
+	// The synthetic churn site recycles, so a ring-sized entry must name it.
+	ringSized := false
+	for _, d := range led.Stage(StageRecycling) {
+		if d.Kind == "ring-sized" {
+			ringSized = true
+			if !strings.Contains(d.Reason, "peak simultaneously-live") {
+				t.Errorf("ring reason lacks geometry rationale: %q", d.Reason)
+			}
+		}
+	}
+	if !ringSized {
+		t.Error("no ring-sized decision despite the churn site")
+	}
+}
+
+// TestLedgerDeterministic: identical inputs record the identical decision
+// sequence — the ledger is an exportable, reproducible artifact.
+func TestLedgerDeterministic(t *testing.T) {
+	_, a := buildLedger(t, nil)
+	_, b := buildLedger(t, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical plan builds produced different ledgers")
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.WriteJSON(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("ledger JSON not byte-identical across identical builds")
+	}
+	rt, err := ReadLedgerJSON(&bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rt, a) {
+		t.Fatal("ledger JSON round trip lost decisions")
+	}
+}
+
+// TestLedgerNilSafe: a nil ledger records nothing and never panics, and
+// planning without one produces the identical plan.
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.Record(Decision{Stage: StageMining})
+	if l.Len() != 0 || l.ForSite(1) != nil || l.ForCounter(0) != nil || l.Stage(StageMining) != nil {
+		t.Fatal("nil ledger not inert")
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	withLed, _ := buildLedger(t, nil)
+	cfg := DefaultPlanConfig("synth", VariantHDSHot)
+	without, _, err := BuildPlan(synthTrace(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withLed, without) {
+		t.Fatal("recording the ledger changed the plan")
+	}
+}
+
+// TestLedgerRecyclingDisabled and budget truncation reasons.
+func TestLedgerConfigReasons(t *testing.T) {
+	_, led := buildLedger(t, func(c *PlanConfig) { c.RecycleRatio = 0 })
+	found := false
+	for _, d := range led.Stage(StageRecycling) {
+		if d.Kind == "recycling-disabled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no recycling-disabled decision with RecycleRatio 0")
+	}
+
+	_, led = buildLedger(t, func(c *PlanConfig) { c.MaxRegionBytes = 64 })
+	truncated := 0
+	for _, d := range led.Stage(StagePlacement) {
+		if d.Kind == "budget-truncated" {
+			truncated++
+			if !strings.Contains(d.Reason, "budget") {
+				t.Errorf("truncation reason lacks budget: %q", d.Reason)
+			}
+		}
+	}
+	if truncated == 0 {
+		t.Error("64-byte budget truncated nothing")
+	}
+}
+
+// TestLedgerForSite: site-scoped lookup joins classification and
+// placement decisions for one site.
+func TestLedgerForSite(t *testing.T) {
+	_, led := buildLedger(t, nil)
+	ds := led.ForSite(mem.SiteID(1))
+	if len(ds) == 0 {
+		t.Fatal("no decisions recorded for hot site 1")
+	}
+	stages := map[string]bool{}
+	for _, d := range ds {
+		stages[d.Stage] = true
+	}
+	if !stages[StageContext] {
+		t.Errorf("site 1 decisions missing context stage: %v", stages)
+	}
+}

@@ -216,4 +216,7 @@ type Summary struct {
 	HotObjects  int
 	HotInHDS    int
 	CoveragePct float64
+	// Ledger is the decision record of the plan build, when the caller
+	// asked for one (PlanConfig.Ledger); nil otherwise.
+	Ledger *Ledger
 }

@@ -60,6 +60,11 @@ type PlanConfig struct {
 	// assignment) with per-stage counters attached. Purely observational:
 	// it never influences the plan.
 	Trace *obs.Span
+	// Ledger, when non-nil, receives one Decision per planning choice —
+	// classification reasons, sharing attempts, reconstitution actions,
+	// recycling geometry, slot placements, budget truncation. Like Trace
+	// it is purely observational and deterministic.
+	Ledger *Ledger
 }
 
 // DefaultPlanConfig returns the configuration used across the evaluation.
@@ -126,6 +131,15 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	mineSpan.Set("refs", len(refs))
 	mineSpan.Set("streams", len(ohds))
 	mineSpan.End()
+	minerName := "lcs"
+	if cfg.Miner == MinerSequitur {
+		minerName = "sequitur"
+	}
+	cfg.Ledger.Record(Decision{
+		Stage: StageMining, Kind: "streams-mined", Counter: -1,
+		Reason: fmt.Sprintf("%s miner found %d observed hot data streams over %d collapsed hot references",
+			minerName, len(ohds), len(refs)),
+	})
 
 	// --- Layout determination (Algorithm 1) -------------------------
 	reconSpan := cfg.Trace.Child("reconstitution")
@@ -137,6 +151,14 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	reconSpan.Set("rhds", len(recon.RHDS))
 	reconSpan.Set("singletons", len(recon.Singletons))
 	reconSpan.End()
+	if cfg.Ledger != nil {
+		for _, st := range recon.Steps {
+			cfg.Ledger.Record(Decision{
+				Stage: StageReconstitution, Kind: "hds-" + st.Action, Counter: -1,
+				Reason: fmt.Sprintf("OHDS[%d]: %s", st.Stream, st.Reason),
+			})
+		}
+	}
 
 	// Placement order by variant.
 	hotOrder := make([]mem.ObjectID, 0, len(hot.Objects)) // allocation order
@@ -208,6 +230,23 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	ctxSpan.Set("sites", len(hotSites))
 	ctxSpan.Set("counters", len(asn.Counters))
 	ctxSpan.End()
+	if cfg.Ledger != nil {
+		for _, sd := range asn.Trail {
+			kind := "share-rejected"
+			if sd.Accepted {
+				kind = "share-accepted"
+			}
+			cfg.Ledger.Record(Decision{
+				Stage: StageContext, Kind: kind, Counter: -1, Sites: sd.Sites, Reason: sd.Reason,
+			})
+		}
+		for ci, c := range asn.Counters {
+			cfg.Ledger.Record(Decision{
+				Stage: StageContext, Kind: "counter-classified", Counter: ci, Sites: c.Sites,
+				Reason: fmt.Sprintf("%s pattern over %d site(s): %s", c.Kind, len(c.Sites), c.Reason),
+			})
+		}
+	}
 
 	// --- Recycling decision (§2.4) ------------------------------------
 	// Decide which counters become slot rings *before* assigning static
@@ -221,19 +260,41 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	}
 	rings := make(map[int]ringSpec) // assignment counter index -> ring
 	recycledObj := make(map[mem.ObjectID]bool)
-	if cfg.RecycleRatio > 0 {
+	if cfg.RecycleRatio <= 0 {
+		cfg.Ledger.Record(Decision{
+			Stage: StageRecycling, Kind: "recycling-disabled", Counter: -1,
+			Reason: "recycling disabled by configuration (RecycleRatio 0)",
+		})
+	} else {
 		for ci, c := range asn.Counters {
-			if c.Kind != context.KindAll || !recyclable(c.Sites, liveness, cfg.RecycleRatio) {
+			if c.Kind != context.KindAll {
+				continue // only all-ids counters can serve every instance from a ring
+			}
+			if why, ok := recyclable(c.Sites, liveness, cfg.RecycleRatio); !ok {
+				cfg.Ledger.Record(Decision{
+					Stage: StageRecycling, Kind: "ring-rejected", Counter: ci, Sites: c.Sites, Reason: why,
+				})
 				continue
 			}
 			n, slotSize := ringGeometry(c, a, liveness)
 			if n <= 0 || slotSize == 0 {
+				cfg.Ledger.Record(Decision{
+					Stage: StageRecycling, Kind: "ring-rejected", Counter: ci, Sites: c.Sites,
+					Reason: fmt.Sprintf("degenerate ring geometry (N=%d slot=%d B)", n, slotSize),
+				})
 				continue
 			}
 			rings[ci] = ringSpec{n: n, slotSize: slotSize}
 			for _, obj := range c.HotIDs {
 				recycledObj[obj] = true
 			}
+			cfg.Ledger.Record(Decision{
+				Stage: StageRecycling, Kind: "ring-sized", Counter: ci, Sites: c.Sites,
+				Size: uint64(n) * slotSize,
+				Reason: fmt.Sprintf(
+					"every site reaches allocs/max-live ratio %.3g; N=%d (peak simultaneously-live objects), slot=%d B (largest hot object) serve %d hot objects from %d B of ring space",
+					cfg.RecycleRatio, n, slotSize, len(c.HotIDs), uint64(n)*slotSize),
+			})
 		}
 	}
 	recycleSpan.Set("rings", len(rings))
@@ -269,16 +330,27 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 			budget = cfg.MaxRegionBytes - ringBytes
 		}
 		var used uint64
-		kept := staticOrder[:0]
-		for _, id := range staticOrder {
+		cut := len(staticOrder)
+		for i, id := range staticOrder {
 			sz := mem.AlignUp(maxU64p(sizes[id], layout.Align), layout.Align)
 			if used+sz > budget {
+				cut = i
 				break
 			}
 			used += sz
-			kept = append(kept, id)
 		}
-		staticOrder = kept
+		if cfg.Ledger != nil {
+			for _, id := range staticOrder[cut:] {
+				cfg.Ledger.Record(Decision{
+					Stage: StagePlacement, Kind: "budget-truncated", Counter: -1,
+					Sites: []mem.SiteID{a.Object(id).Site}, Object: id, Size: sizes[id],
+					Reason: fmt.Sprintf(
+						"region budget %d B (rings reserve %d B) exhausted after %d B; coldest tail of the layout order dropped",
+						cfg.MaxRegionBytes, ringBytes, used),
+				})
+			}
+		}
+		staticOrder = staticOrder[:cut]
 	}
 	placement := layout.Assign(staticOrder, sizes)
 	if err := placement.Validate(); err != nil {
@@ -288,6 +360,33 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 	slotSpan.Set("placed", len(placement.Offsets))
 	slotSpan.Set("region_bytes", placement.Total)
 	slotSpan.End()
+	if cfg.Ledger != nil {
+		// Where each placed object sits in the layout order and why: its
+		// reconstituted stream position, singleton slot, or variant tail.
+		why := make(map[mem.ObjectID]string, len(staticOrder))
+		for i, s := range recon.RHDS {
+			for j, o := range s.Objects {
+				why[o] = fmt.Sprintf("position %d of reconstituted stream RHDS[%d] (stream order drives the next-line prefetcher)", j, i)
+			}
+		}
+		for _, o := range recon.Singletons {
+			why[o] = "hot singleton left over from stream splitting; placed after the streams"
+		}
+		for _, id := range staticOrder {
+			w, ok := why[id]
+			if !ok || cfg.Variant == VariantHot {
+				w = "hot object placed in allocation order"
+				if cfg.Variant == VariantHDSHot {
+					w = "hot object outside every reconstituted stream; appended after the streams"
+				}
+			}
+			cfg.Ledger.Record(Decision{
+				Stage: StagePlacement, Kind: "slot-assigned", Counter: asn.SiteCounter[a.Object(id).Site],
+				Sites: []mem.SiteID{a.Object(id).Site}, Object: id,
+				Offset: placement.Offsets[id], Size: placement.Sizes[id], Reason: w,
+			})
+		}
+	}
 
 	plan := &Plan{
 		Benchmark:   cfg.Benchmark,
@@ -354,6 +453,7 @@ func BuildPlanFromHot(a *trace.Analysis, hot *hotness.Set, cfg PlanConfig) (*Pla
 		HotObjects:  len(hot.Objects),
 		HotInHDS:    hotInHDS,
 		CoveragePct: hot.CoveragePct(),
+		Ledger:      cfg.Ledger,
 	}
 	return plan, sum, nil
 }
@@ -365,13 +465,15 @@ func maxU64p(a, b uint64) uint64 {
 	return b
 }
 
-func recyclable(sites []mem.SiteID, l hotness.Liveness, ratio float64) bool {
+func recyclable(sites []mem.SiteID, l hotness.Liveness, ratio float64) (string, bool) {
 	for _, s := range sites {
 		if !l.RecyclingCandidate(s, ratio) {
-			return false
+			return fmt.Sprintf(
+				"site %d allocates %d objects with peak live %d — below the allocs/max-live ratio %.3g recycling needs",
+				s, l.SiteAllocs[s], l.SiteMaxLive[s], ratio), false
 		}
 	}
-	return true
+	return "", true
 }
 
 // ringGeometry sizes a recycling ring: N = peak simultaneously-live

@@ -190,6 +190,47 @@ func missFigure(w io.Writer, cmps []*pipeline.Comparison, title string, metric f
 	return tw.Flush()
 }
 
+// AttributionTable prints the per-site before/after attribution: the
+// top-N allocation sites by baseline LLC-miss share, each with its
+// best-variant share and the ledger's one-line placement rationale.
+// Benchmarks run without attribution print a skip note instead, so the
+// table is safe to request unconditionally.
+func AttributionTable(w io.Writer, cmps []*pipeline.Comparison, topN int) error {
+	fmt.Fprintln(w, "Attribution: per-site LLC-miss share, baseline -> best PreFix (top sites)")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "benchmark\tsite\tbase LLC\tbase share\tbest LLC\tbest share\twhy")
+	for _, c := range cmps {
+		ex := pipeline.BuildExplain(c, topN)
+		if ex == nil {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\t-\t-\t(run without -attrib; no attribution collected)\n", c.Benchmark)
+			continue
+		}
+		for _, s := range ex.Sites {
+			fmt.Fprintf(tw, "%s\tsite %d\t%d\t%.1f%%\t%d\t%.1f%%\t%s\n",
+				c.Benchmark, s.Site,
+				s.Baseline.LLCMisses, s.Baseline.SharePct,
+				s.Best.LLCMisses, s.Best.SharePct,
+				attributionWhy(s))
+		}
+	}
+	return tw.Flush()
+}
+
+// attributionWhy picks the one-line rationale for a site: the context
+// classification if the planner recorded one, else the first decision,
+// else a note that the site never reached the plan.
+func attributionWhy(s pipeline.SiteExplain) string {
+	for _, d := range s.Decisions {
+		if d.Kind == "counter-classified" {
+			return d.Reason
+		}
+	}
+	if len(s.Decisions) > 0 {
+		return s.Decisions[0].Reason
+	}
+	return "(no plan decisions: site not hot enough to place)"
+}
+
 // VarianceTable prints the seed-sweep summary (the paper's "averaged
 // over 10 runs" methodology).
 func VarianceTable(w io.Writer, vs []*pipeline.Variance) error {

@@ -179,6 +179,73 @@ func TestReportBytesIdenticalAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestReportBytesIdenticalWithAttribution is the explain-smoke guarantee:
+// turning attribution on must not change a single byte of the paper
+// tables — attribution only adds its own table.
+func TestReportBytesIdenticalWithAttribution(t *testing.T) {
+	names := []string{"mcf", "health"}
+	render := func(attrib bool) string {
+		opt := pipeline.DefaultOptions()
+		opt.UseBenchScale = true
+		opt.Attribution = attrib
+		cmps, err := pipeline.RunSuite(names, opt, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, emit := range []func(*bytes.Buffer) error{
+			func(b *bytes.Buffer) error { return Table2(b, cmps) },
+			func(b *bytes.Buffer) error { return Table3(b, cmps) },
+			func(b *bytes.Buffer) error { return Table5(b, cmps) },
+			func(b *bytes.Buffer) error { return Figure12(b, cmps) },
+		} {
+			if err := emit(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.String()
+	}
+	if off, on := render(false), render(true); off != on {
+		t.Errorf("report bytes differ between attribution off and on:\n--- off ---\n%s\n--- on ---\n%s", off, on)
+	}
+}
+
+// TestAttributionTable: attributed comparisons render per-site rows with
+// a ledger reason; unattributed ones render the skip note.
+func TestAttributionTable(t *testing.T) {
+	opt := pipeline.DefaultOptions()
+	opt.UseBenchScale = true
+	opt.Attribution = true
+	cmp, err := pipeline.RunBenchmark("mcf", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := AttributionTable(&buf, []*pipeline.Comparison{cmp}, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "site ") {
+		t.Errorf("attribution table missing site rows:\n%s", out)
+	}
+	if strings.Contains(out, "without -attrib") {
+		t.Errorf("attributed run rendered the skip note:\n%s", out)
+	}
+
+	opt.Attribution = false
+	plain, err := pipeline.RunBenchmark("mcf", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := AttributionTable(&buf, []*pipeline.Comparison{plain}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "without -attrib") {
+		t.Errorf("unattributed run missing skip note:\n%s", buf.String())
+	}
+}
+
 // TestVarianceTableBytesIdenticalAcrossJobs does the same for the seed
 // sweep, whose jobs additionally share one profile per benchmark.
 func TestVarianceTableBytesIdenticalAcrossJobs(t *testing.T) {
