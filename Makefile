@@ -8,7 +8,7 @@ GO ?= go
 # benchmarks at reduced scale through the worker pool.
 SMOKE_ARGS = -scale bench -jobs 4 -only table3 -bench mcf,health
 
-.PHONY: check fmt vet lint build test test-short race bench bench-micro bench-smoke bench-baseline bench-gate bench-trajectory stream-smoke perf-smoke explain-smoke clean
+.PHONY: check fmt vet lint lint-perf build test test-short race bench bench-micro bench-smoke bench-baseline bench-gate bench-trajectory stream-smoke perf-smoke explain-smoke clean
 
 check: fmt vet lint build race
 
@@ -21,10 +21,32 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific invariants (determinism, span lifecycle, metric names);
-# see DESIGN.md "Static invariants" and internal/analysis.
+# Repo-specific invariants (determinism, span lifecycle, metric names,
+# hot-path zero-alloc/zero-dispatch, compiler escape/inline budget); see
+# DESIGN.md "Static invariants" / "Hot-path static invariants" and
+# internal/analysis.
 lint:
 	$(GO) run ./cmd/prefix-lint ./...
+
+# Hot-path performance gate, separated out for CI artifact upload: the
+# hotalloc/hotcall/escapebudget family over the whole tree with
+# machine-readable findings, plus a freshly recorded escape budget
+# diffed against the committed one. Findings fail the target; budget
+# drift that breaks no invariant (e.g. an inline cost change) is
+# surfaced in lint-out/escape-budget.diff but does not fail.
+lint-perf:
+	@rm -rf lint-out && mkdir -p lint-out
+	@$(GO) run ./cmd/prefix-lint -analyzers hotalloc,hotcall,escapebudget -json ./... > lint-out/findings.json; \
+	status=$$?; \
+	$(GO) run ./cmd/prefix-lint -analyzers escapebudget -record -budget lint-out/escape-budget.json ./... 2>/dev/null; \
+	diff -u testdata/escape-budget.json lint-out/escape-budget.json > lint-out/escape-budget.diff; \
+	if [ -s lint-out/escape-budget.diff ]; then \
+		echo "lint-perf: escape budget drifted from testdata/escape-budget.json (see lint-out/escape-budget.diff)"; \
+	fi; \
+	if [ $$status -ne 0 ]; then \
+		echo "lint-perf: hot-path findings:"; cat lint-out/findings.json; exit $$status; \
+	fi; \
+	echo "lint-perf: hot-path invariants clean"
 
 build:
 	$(GO) build ./...

@@ -291,6 +291,7 @@ func run() (err error) {
 
 	if *record || *baseline != "" {
 		snap := benchstore.FromComparisons(cmps, benchstore.Meta{
+			//lint:ignore nodeterminism snapshot provenance metadata; never enters simulated results or the regression gate
 			Timestamp: time.Now(),
 			GitSHA:    benchstore.GitSHA("."),
 			Jobs:      *jobs,
@@ -299,6 +300,7 @@ func run() (err error) {
 		if *record {
 			path := *recordOut
 			if path == "" {
+				//lint:ignore nodeterminism output-file timestamp only; -o pins the name when reproducibility matters
 				path = benchstore.Filename(time.Now())
 			}
 			if werr := snap.WriteFile(path); werr != nil {

@@ -1,14 +1,19 @@
 // Command prefix-lint runs the repo's static-analysis suite (see
-// internal/analysis): nodeterminism, mapiter, spanend, and metricname —
-// the mechanical enforcement of the invariants the evaluation rests on.
+// internal/analysis): nodeterminism, mapiter, spanend, metricname, and
+// the hot-path family hotalloc/hotcall/escapebudget — the mechanical
+// enforcement of the invariants the evaluation rests on.
 //
 // Usage:
 //
-//	prefix-lint [-json] [-C dir] [packages...]
+//	prefix-lint [-json] [-C dir] [-analyzers a,b] [-record] [-budget file] [packages...]
 //
-// Packages default to ./... and accept any `go list` pattern. The exit
-// status is 0 when the tree is clean, 1 when diagnostics were reported,
-// and 2 on a usage or load error.
+// Packages default to ./... and accept any `go list` pattern.
+// -analyzers selects a comma-separated subset of the suite (default:
+// all; -list prints the registry). -record rewrites the escapebudget
+// baseline at -budget (default testdata/escape-budget.json, resolved
+// relative to -C) instead of diffing against it. The exit status is 0
+// when the tree is clean, 1 when diagnostics were reported, and 2 on a
+// usage or load error.
 //
 // The binary also speaks the `go vet -vettool` unit protocol, so the
 // same analyzers run under plain go vet (editors, external CI):
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"prefix/internal/analysis"
@@ -57,9 +63,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	dir := fs.String("C", "", "resolve package patterns from this directory")
-	listOnly := fs.Bool("analyzers", false, "list the registered analyzers and exit")
+	names := fs.String("analyzers", "", "comma-separated analyzers to run (default: the whole suite)")
+	listOnly := fs.Bool("list", false, "list the registered analyzers and exit")
+	record := fs.Bool("record", false, "escapebudget: rewrite the budget for the analyzed packages instead of diffing")
+	budget := fs.String("budget", "testdata/escape-budget.json", "escapebudget: budget file, resolved relative to -C")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: prefix-lint [-json] [-C dir] [packages...]\n")
+		fmt.Fprintf(stderr, "usage: prefix-lint [-json] [-C dir] [-analyzers a,b] [-record] [-budget file] [packages...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -71,20 +80,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	analyzers := analysis.All()
+	if *names != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*names, ",") {
+			name = strings.TrimSpace(name)
+			a := analysis.Lookup(name)
+			if a == nil {
+				fmt.Fprintf(stderr, "prefix-lint: unknown analyzer %q (run prefix-lint -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
+	budgetPath := *budget
+	if !filepath.IsAbs(budgetPath) {
+		budgetPath = filepath.Join(*dir, budgetPath)
+	}
+	analysis.EscapeBudgetFile = budgetPath
+	analysis.EscapeBudgetRecord = *record
 
 	pkgs, err := analysis.LoadPatterns(*dir, patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "prefix-lint: %v\n", err)
 		return 2
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "prefix-lint: %v\n", err)
 		return 2
+	}
+	if *record {
+		fmt.Fprintf(stderr, "prefix-lint: escape budget recorded to %s\n", budgetPath)
 	}
 
 	if *jsonOut {

@@ -136,15 +136,152 @@ func TestCLIBadPatternExitsTwo(t *testing.T) {
 	}
 }
 
-func TestCLIAnalyzersFlag(t *testing.T) {
+func TestCLIListFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-analyzers"}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"nodeterminism", "mapiter", "spanend", "metricname"} {
+	for _, name := range []string{"nodeterminism", "mapiter", "spanend", "metricname",
+		"hotalloc", "hotcall", "escapebudget"} {
 		if !strings.Contains(stdout.String(), name) {
-			t.Errorf("-analyzers output missing %q:\n%s", name, stdout.String())
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
+	}
+}
+
+func TestCLIAnalyzersSelection(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/sim.go": violatingSource})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-analyzers", "mapiter", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "(mapiter)") {
+		t.Errorf("selected analyzer did not report:\n%s", out)
+	}
+	if strings.Contains(out, "(nodeterminism)") {
+		t.Errorf("unselected analyzer reported anyway:\n%s", out)
+	}
+}
+
+func TestCLIUnknownAnalyzerExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %q", stderr.String())
+	}
+}
+
+// hotpathSource seeds the acceptance scenario: a //prefix:hotpath
+// function that picked up a fmt.Sprintf and a defer.
+const hotpathSource = `package sim
+
+import "fmt"
+
+type cache struct{ hits, misses uint64 }
+
+func (c *cache) note() {}
+
+//prefix:hotpath
+func (c *cache) Access(addr uint64) bool {
+	defer c.note()
+	_ = fmt.Sprintf("access %d", addr)
+	if addr&1 == 0 {
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+`
+
+func TestCLIHotpathFindingsNameTheConstruct(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/hot.go": hotpathSource})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "-analyzers", "hotalloc,hotcall", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "fmt.Sprintf allocates") || !strings.Contains(out, "(hotalloc)") {
+		t.Errorf("stdout missing the hotalloc fmt.Sprintf finding:\n%s", out)
+	}
+	if !strings.Contains(out, "defer in hot-path function cache.Access") || !strings.Contains(out, "(hotcall)") {
+		t.Errorf("stdout missing the hotcall defer finding:\n%s", out)
+	}
+}
+
+// escapingSource has one annotated function whose local provably moves
+// to the heap — the escapebudget record/check round-trip fixture.
+const escapingSource = `package sim
+
+//prefix:hotpath
+func Leak() *int {
+	x := 7
+	return &x
+}
+`
+
+func TestCLIEscapeBudgetRecordRoundTrip(t *testing.T) {
+	dir := writeModule(t, map[string]string{"internal/sim/leak.go": escapingSource})
+	budget := filepath.Join(dir, "testdata", "escape-budget.json")
+	lint := func(args ...string) (int, string, string) {
+		var stdout, stderr bytes.Buffer
+		code := run(append([]string{"-C", dir}, args...), &stdout, &stderr)
+		return code, stdout.String(), stderr.String()
+	}
+
+	// No budget yet: check mode demands a recording.
+	code, out, serr := lint("-analyzers", "escapebudget", "./...")
+	if code != 1 || !strings.Contains(out, "no escape-budget entry for prefix/internal/sim.Leak") {
+		t.Fatalf("missing-budget run: code=%d\nstdout:\n%s\nstderr:\n%s", code, out, serr)
+	}
+
+	// Record, then record again: the file must be byte-stable.
+	if code, out, serr = lint("-analyzers", "escapebudget", "-record", "./..."); code != 0 {
+		t.Fatalf("record run failed: code=%d\nstdout:\n%s\nstderr:\n%s", code, out, serr)
+	}
+	first, err := os.ReadFile(budget)
+	if err != nil {
+		t.Fatalf("budget not written: %v", err)
+	}
+	if !strings.Contains(string(first), "prefix/internal/sim.Leak") ||
+		!strings.Contains(string(first), "moved to heap: x") {
+		t.Fatalf("recorded budget missing the Leak entry:\n%s", first)
+	}
+	if code, _, serr = lint("-analyzers", "escapebudget", "-record", "./..."); code != 0 {
+		t.Fatalf("second record run failed: code=%d\nstderr:\n%s", code, serr)
+	}
+	second, err := os.ReadFile(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two consecutive -record runs differ:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+
+	// Check mode against the fresh budget is clean.
+	if code, out, serr = lint("-analyzers", "escapebudget", "./..."); code != 0 {
+		t.Fatalf("in-budget check failed: code=%d\nstdout:\n%s\nstderr:\n%s", code, out, serr)
+	}
+
+	// A new escape beyond the recorded budget is a finding.
+	grown := escapingSource + `
+//prefix:hotpath
+func Leak2() *uint64 {
+	y := uint64(9)
+	return &y
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "internal/sim/leak.go"), []byte(grown), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, serr = lint("-analyzers", "escapebudget", "./...")
+	if code != 1 || !strings.Contains(out, "no escape-budget entry for prefix/internal/sim.Leak2") {
+		t.Fatalf("grown-escape check: code=%d\nstdout:\n%s\nstderr:\n%s", code, out, serr)
 	}
 }
 

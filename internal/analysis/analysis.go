@@ -51,6 +51,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Module is the cross-package hot-path index for the whole run (all
+	// packages passed to RunAnalyzers), shared by the hotalloc/hotcall/
+	// escapebudget family.
+	Module *ModuleIndex
 
 	report func(Diagnostic)
 }
@@ -144,6 +148,7 @@ func suppressed(d Diagnostic, directives []ignoreDirective) bool {
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	var errs []string
+	module := buildModuleIndex(pkgs)
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		collect := func(d Diagnostic) {
@@ -158,6 +163,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Module:    module,
 				report:    collect,
 			}
 			if err := a.Run(pass); err != nil {

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Hotalloc forbids allocation-inducing constructs inside
+// //prefix:hotpath functions: the PR 7 fast path is pinned at zero
+// allocs/op by testing.AllocsPerRun, and this analyzer names the exact
+// construct that would reintroduce one — before the benchmark run does.
+//
+// Flagged: make/new, &composite literals, map and slice literals, map
+// writes, append (may grow), capturing closures, string concatenation,
+// string<->[]byte/[]rune conversions, fmt.* calls, and boxing a
+// concrete value into an interface parameter. Whether a given literal
+// or variable actually reaches the heap is the compiler's decision;
+// that side is gated by the escapebudget analyzer, so the two overlap
+// deliberately. Amortized or by-design allocations are suppressed in
+// place with //lint:ignore hotalloc <reason>.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation-inducing constructs in //prefix:hotpath functions",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *Pass) error {
+	for _, decl := range hotFuncDecls(pass) {
+		name := declDisplayName(decl)
+		InspectWithStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkHotAllocCall(pass, name, n)
+			case *ast.CompositeLit:
+				// &T{...} is reported once, at the &.
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND && u.X == n {
+						return true
+					}
+				}
+				switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates in hot-path function %s", name)
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates in hot-path function %s", name)
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+						pass.Reportf(n.Pos(), "&composite literal allocates in hot-path function %s", name)
+					}
+				}
+			case *ast.FuncLit:
+				if captured := closureCaptures(pass, n); len(captured) > 0 {
+					pass.Reportf(n.Pos(), "closure capturing %s allocates in hot-path function %s",
+						quotedList(captured), name)
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && isStringType(pass.TypesInfo.Types[n].Type) {
+					// Report a + b + c once, at the outermost +.
+					if len(stack) > 0 {
+						if b, ok := stack[len(stack)-1].(*ast.BinaryExpr); ok && b.Op == token.ADD && isStringType(pass.TypesInfo.Types[b].Type) {
+							return true
+						}
+					}
+					pass.Reportf(n.Pos(), "string concatenation allocates in hot-path function %s", name)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.TypesInfo.Types[n.Lhs[0]].Type) {
+					pass.Reportf(n.Pos(), "string concatenation allocates in hot-path function %s", name)
+				}
+				for _, lhs := range n.Lhs {
+					reportMapWrite(pass, name, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportMapWrite(pass, name, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHotAllocCall handles the call-shaped constructs: allocation
+// builtins, string conversions, fmt, and interface boxing at call
+// boundaries.
+func checkHotAllocCall(pass *Pass, name string, call *ast.CallExpr) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		checkStringConversion(pass, name, call, tv.Type)
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in hot-path function %s", name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in hot-path function %s", name)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in hot-path function %s", name)
+			}
+			return
+		}
+	}
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in hot-path function %s", fn.Name(), name)
+		return
+	}
+	checkInterfaceBoxing(pass, name, call)
+}
+
+// checkStringConversion flags the conversions that copy their operand:
+// string <-> []byte/[]rune and integer -> string.
+func checkStringConversion(pass *Pass, name string, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	argType := pass.TypesInfo.Types[call.Args[0]].Type
+	if argType == nil {
+		return
+	}
+	if isStringType(target) && !isStringType(argType) {
+		pass.Reportf(call.Pos(), "conversion to string allocates in hot-path function %s", name)
+		return
+	}
+	if sl, ok := target.Underlying().(*types.Slice); ok && isStringType(argType) {
+		if b, ok := sl.Elem().Underlying().(*types.Basic); ok && (b.Kind() == types.Byte || b.Kind() == types.Rune) {
+			pass.Reportf(call.Pos(), "conversion from string allocates in hot-path function %s", name)
+		}
+	}
+}
+
+// checkInterfaceBoxing flags concrete arguments passed to interface
+// parameters: the value is boxed, which allocates unless the compiler
+// can prove otherwise.
+func checkInterfaceBoxing(pass *Pass, name string, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	if np == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			paramType = params.At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		argTV := pass.TypesInfo.Types[arg]
+		if argTV.Type == nil || argTV.IsNil() {
+			continue
+		}
+		if types.IsInterface(paramType) && !types.IsInterface(argTV.Type.Underlying()) {
+			pass.Reportf(arg.Pos(), "argument boxes into %s in hot-path function %s",
+				types.TypeString(paramType, types.RelativeTo(pass.Pkg)), name)
+		}
+	}
+}
+
+// reportMapWrite flags an assignment target that indexes a map.
+func reportMapWrite(pass *Pass, name string, lhs ast.Expr) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	if t := pass.TypesInfo.Types[idx.X].Type; t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			pass.Reportf(lhs.Pos(), "map write may allocate in hot-path function %s", name)
+		}
+	}
+}
+
+// closureCaptures returns the sorted names of enclosing-function
+// variables the literal closes over. Package-level variables are
+// excluded: referencing them does not force a heap-allocated closure
+// context.
+func closureCaptures(pass *Pass, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil {
+			return true
+		}
+		if v.Parent() == types.Universe || v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v.Name()] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// quotedList joins names for a diagnostic: `a`, `b`.
+func quotedList(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hotcall forbids call-shape hazards inside //prefix:hotpath functions:
+// defer and go statements, dynamic dispatch (interface method calls and
+// calls through function values — exactly the devirtualization the
+// machine package's *eventBatch exists to avoid), and calls to module
+// functions that are not themselves //prefix:hotpath-annotated. The
+// last rule is how the hot-path closure is enforced: annotating a
+// function obligates its statically-reachable module callees to be
+// annotated too, or each call site to carry a //lint:ignore hotcall
+// <reason> explaining why the branch is off the fast path.
+//
+// Callees in packages outside the current run (partial patterns, the go
+// vet unit protocol) are tolerated: the closure is only checked when
+// the callee's package was loaded.
+var Hotcall = &Analyzer{
+	Name: "hotcall",
+	Doc:  "forbid defer, dynamic dispatch, and unannotated callees in //prefix:hotpath functions",
+	Run:  runHotcall,
+}
+
+func runHotcall(pass *Pass) error {
+	for _, decl := range hotFuncDecls(pass) {
+		name := declDisplayName(decl)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				pass.Reportf(n.Pos(), "defer in hot-path function %s adds call overhead and blocks inlining", name)
+				return false
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in hot-path function %s spawns a goroutine per call", name)
+				return false
+			case *ast.CallExpr:
+				checkHotCall(pass, name, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			return
+		}
+	}
+	if callee := calleeFunc(pass, call); callee != nil {
+		// A method whose receiver is an interface dispatches dynamically
+		// even when reached through a concrete struct (embedded
+		// interface promotion).
+		if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			pass.Reportf(call.Pos(), "interface method call %s dispatches dynamically in hot-path function %s",
+				callee.FullName(), name)
+			return
+		}
+		pkg := callee.Pkg()
+		if pkg == nil {
+			return
+		}
+		if pass.Module.HasPackage(pkg.Path()) && !pass.Module.Annotated(funcQualifiedName(callee)) {
+			pass.Reportf(call.Pos(), "call to %s in hot-path function %s: callee is not marked //prefix:hotpath",
+				shortQualified(callee), name)
+		}
+		return
+	}
+	// No static callee: a dynamic call through a function value.
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if _, ok := pass.TypesInfo.Uses[fun].(*types.Var); ok {
+			pass.Reportf(call.Pos(), "dynamic call through func value %s in hot-path function %s", fun.Name, name)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.FieldVal {
+			pass.Reportf(call.Pos(), "dynamic call through func-valued field %s in hot-path function %s", fun.Sel.Name, name)
+		} else if _, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Var); ok {
+			pass.Reportf(call.Pos(), "dynamic call through func value %s in hot-path function %s", fun.Sel.Name, name)
+		}
+	}
+}
+
+// shortQualified renders a *types.Func as pkgname.Recv.Name — the
+// qualified name with the import path shortened to its last element.
+func shortQualified(fn *types.Func) string {
+	q := funcQualifiedName(fn)
+	if i := strings.LastIndex(q, "/"); i >= 0 {
+		q = q[i+1:]
+	}
+	return q
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The //prefix:hotpath directive marks a function as part of the
+// simulator's allocation-free fast path. The hotalloc and hotcall
+// analyzers walk every annotated function body, and escapebudget diffs
+// the compiler's escape/inline decisions for annotated functions
+// against a committed budget file. The directive must appear in the
+// function's doc comment group:
+//
+//	//prefix:hotpath
+//	func (c *Cache) Access(addr mem.Addr) AccessResult { ... }
+const hotpathDirective = "prefix:hotpath"
+
+// isHotpathAnnotated reports whether the function declaration carries a
+// //prefix:hotpath directive in its doc comment group.
+func isHotpathAnnotated(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// funcQualifiedName returns the stable identity used for hot-path
+// bookkeeping: "pkgpath.Func" for functions and "pkgpath.Recv.Func" for
+// methods. Pointer receivers spell the same as value receivers so the
+// name survives receiver refactors, and the same string is produced
+// whether the *types.Func came from a declaration or a call site.
+func funcQualifiedName(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name() // error.Error and other universe methods
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg.Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// A ModuleIndex is the cross-package view shared by the hot-path
+// analyzer family: which packages were loaded in this run, and the
+// qualified names of every //prefix:hotpath function among them. It is
+// built once per RunAnalyzers call, so hotcall can distinguish "callee
+// is a module function that is not annotated" (a finding) from "callee
+// lives in a package outside this run" (tolerated — partial patterns
+// and the go vet unit protocol analyze one package at a time).
+type ModuleIndex struct {
+	pkgs map[string]bool
+	hot  map[string]bool
+}
+
+// HasPackage reports whether the package path was loaded in this run.
+func (ix *ModuleIndex) HasPackage(path string) bool {
+	return ix != nil && ix.pkgs[path]
+}
+
+// Annotated reports whether the qualified function name (see
+// funcQualifiedName) carries //prefix:hotpath.
+func (ix *ModuleIndex) Annotated(qualified string) bool {
+	return ix != nil && ix.hot[qualified]
+}
+
+// buildModuleIndex scans every loaded package for //prefix:hotpath
+// declarations. Identity is by qualified-name string, not types.Object,
+// because the source importer re-type-checks imported packages: the
+// *types.Func seen at a cross-package call site is a different object
+// from the one at the declaration.
+func buildModuleIndex(pkgs []*Package) *ModuleIndex {
+	ix := &ModuleIndex{pkgs: make(map[string]bool), hot: make(map[string]bool)}
+	for _, pkg := range pkgs {
+		ix.pkgs[pkg.Types.Path()] = true
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || !isHotpathAnnotated(fd) {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					ix.hot[funcQualifiedName(fn)] = true
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// hotFuncDecls returns the //prefix:hotpath function declarations in
+// the pass's package, paired with their display names for diagnostics.
+func hotFuncDecls(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && isHotpathAnnotated(fd) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// declDisplayName renders a FuncDecl as Recv.Name or Name for messages.
+func declDisplayName(decl *ast.FuncDecl) string {
+	if decl.Recv != nil && len(decl.Recv.List) > 0 {
+		t := decl.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + decl.Name.Name
+		}
+	}
+	return decl.Name.Name
+}
+
+// calleeFunc resolves the statically-known *types.Func a call
+// expression targets, or nil for builtins, conversions, and dynamic
+// calls through function values.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

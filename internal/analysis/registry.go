@@ -10,6 +10,9 @@ func All() []*Analyzer {
 		Mapiter,
 		Spanend,
 		Metricname,
+		Hotalloc,
+		Hotcall,
+		Escapebudget,
 	}
 }
 

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFiles type-checks one temp-dir package from named file contents.
+func loadFiles(t *testing.T, fset *token.FileSet, importPath string, files map[string]string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	paths := make([]string, 0, len(names))
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(files[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	pkg, err := typeCheck(fset, importer.ForCompiler(fset, "source", nil), importPath, paths)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", importPath, err)
+	}
+	return pkg
+}
+
+// reverseReporter reports every top-level function, deliberately walking
+// files and declarations back-to-front so any ordering the runner
+// exhibits comes from its own sort, not emission order.
+var reverseReporter = &Analyzer{
+	Name: "reverse",
+	Doc:  "test analyzer that emits diagnostics in reverse source order",
+	Run: func(pass *Pass) error {
+		for i := len(pass.Files) - 1; i >= 0; i-- {
+			decls := pass.Files[i].Decls
+			for j := len(decls) - 1; j >= 0; j-- {
+				if fd, ok := decls[j].(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestRunnerDeterministicOrder: diagnostics come out sorted by (file,
+// line, column, analyzer) regardless of package order or the order the
+// analyzer emitted them in. Table-driven over package permutations.
+func TestRunnerDeterministicOrder(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgA := loadFiles(t, fset, "order/a", map[string]string{
+		"a.go": "package a\n\nfunc A1() {}\n\nfunc A2() {}\n",
+		"z.go": "package a\n\nfunc Z1() {}\n",
+	})
+	pkgB := loadFiles(t, fset, "order/b", map[string]string{
+		"b.go": "package b\n\nfunc B1() {}\n",
+	})
+
+	var baseline []string
+	for _, tc := range []struct {
+		name string
+		pkgs []*Package
+	}{
+		{"a-then-b", []*Package{pkgA, pkgB}},
+		{"b-then-a", []*Package{pkgB, pkgA}},
+	} {
+		diags, err := RunAnalyzers(tc.pkgs, []*Analyzer{reverseReporter})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !sort.SliceIsSorted(diags, func(i, j int) bool {
+			a, b := diags[i], diags[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Col < b.Col
+		}) {
+			t.Errorf("%s: diagnostics not sorted by (file, line, col): %v", tc.name, diags)
+		}
+		got := make([]string, len(diags))
+		for i, d := range diags {
+			got[i] = d.String()
+		}
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		if strings.Join(got, "\n") != strings.Join(baseline, "\n") {
+			t.Errorf("%s: package order changed the output:\n%s\nvs\n%s",
+				tc.name, strings.Join(got, "\n"), strings.Join(baseline, "\n"))
+		}
+	}
+	if len(baseline) != 4 {
+		t.Fatalf("expected 4 diagnostics, got %d: %v", len(baseline), baseline)
+	}
+}
+
+// TestMalformedDirectiveReportedOnce: directive parsing happens once
+// per package, not once per analyzer, so a malformed //lint:ignore
+// yields exactly one "lint" diagnostic however many analyzers run.
+func TestMalformedDirectiveReportedOnce(t *testing.T) {
+	noop := func(name string) *Analyzer {
+		return &Analyzer{Name: name, Doc: "noop", Run: func(*Pass) error { return nil }}
+	}
+	for _, tc := range []struct {
+		name      string
+		analyzers []*Analyzer
+	}{
+		{"one-analyzer", []*Analyzer{noop("n1")}},
+		{"three-analyzers", []*Analyzer{noop("n1"), noop("n2"), noop("n3")}},
+	} {
+		fset := token.NewFileSet()
+		pkg := loadFiles(t, fset, "malformed/p", map[string]string{
+			"p.go": "package p\n\n//lint:ignore\nfunc F() {}\n",
+		})
+		diags, err := RunAnalyzers([]*Package{pkg}, tc.analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var lint int
+		for _, d := range diags {
+			if d.Analyzer == "lint" && strings.Contains(d.Message, "malformed") {
+				lint++
+			}
+		}
+		if lint != 1 {
+			t.Errorf("%s: malformed directive reported %d times, want exactly 1: %v",
+				tc.name, lint, diags)
+		}
+	}
+}

@@ -6,24 +6,31 @@ import (
 )
 
 // Spanend enforces the obs span lifecycle: every span acquired from
-// Tracer.Start or Span.Child must reach End() — via defer, or via an
-// explicit call in the same block as the acquisition (so straight-line
-// control flow always passes it). A span that is discarded, or whose
-// only End() sits inside a nested branch, leaks open and poisons the
-// phase-timing tree.
+// Tracer.Start or Span.Child, and every perfstat scope acquired from
+// Collector.Begin, must reach End() — via defer, or via an explicit
+// call in the same block as the acquisition (so straight-line control
+// flow always passes it). A span that is discarded, or whose only
+// End() sits inside a nested branch, leaks open and poisons the
+// phase-timing tree; an unended perfstat scope silently drops its host
+// sample.
 //
 // Ownership hand-offs are recognized: a span passed to another function,
 // returned, stored in a struct/field, or captured by a non-deferred
-// closure is assumed to be ended by its new owner.
+// closure is assumed to be ended by its new owner. A Begin chained
+// through AttachSpan (perf.Begin("x").AttachSpan(root)) binds the same
+// scope, so the chained call is classified as the acquisition.
 var Spanend = &Analyzer{
 	Name: "spanend",
-	Doc:  "ensure every obs.Tracer.Start/obs.Span.Child result reaches End() on all paths",
+	Doc:  "ensure every obs span and perfstat scope acquisition reaches End() on all paths",
 	Run:  runSpanend,
 }
 
-const obsPkgPath = "prefix/internal/obs"
+const (
+	obsPkgPath      = "prefix/internal/obs"
+	perfstatPkgPath = "prefix/internal/obs/perfstat"
+)
 
-// isObsSpan reports whether t is *obs.Span.
+// isObsSpan reports whether t is *obs.Span or *perfstat.Scope.
 func isObsSpan(t types.Type) bool {
 	ptr, ok := t.(*types.Pointer)
 	if !ok {
@@ -34,17 +41,26 @@ func isObsSpan(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Span" && obj.Pkg() != nil && obj.Pkg().Path() == obsPkgPath
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Name() == "Span" && obj.Pkg().Path() == obsPkgPath:
+		return true
+	case obj.Name() == "Scope" && obj.Pkg().Path() == perfstatPkgPath:
+		return true
+	}
+	return false
 }
 
-// isSpanProducer reports whether call is Tracer.Start or Span.Child
-// (anything from obs returning *obs.Span).
+// isSpanProducer reports whether call is Tracer.Start, Span.Child, or
+// Collector.Begin (anything span-shaped from the obs layer).
 func isSpanProducer(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	if name := sel.Sel.Name; name != "Start" && name != "Child" {
+	if name := sel.Sel.Name; name != "Start" && name != "Child" && name != "Begin" {
 		return false
 	}
 	tv, ok := info.Types[call]
@@ -71,6 +87,24 @@ func runSpanend(pass *Pass) error {
 // checkSpanAcquisition classifies how the producer call's result is
 // bound and, for a plain local variable, verifies its End discipline.
 func checkSpanAcquisition(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	// A perfstat Begin chained through AttachSpan yields the same
+	// scope: climb to the outermost chained call and classify how that
+	// result is bound instead.
+	for len(stack) >= 2 {
+		sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+		if !ok || sel.X != ast.Expr(call) || sel.Sel.Name != "AttachSpan" {
+			break
+		}
+		outer, ok := stack[len(stack)-2].(*ast.CallExpr)
+		if !ok || outer.Fun != ast.Expr(sel) {
+			break
+		}
+		call = outer
+		stack = stack[:len(stack)-2]
+	}
 	if len(stack) == 0 {
 		return
 	}

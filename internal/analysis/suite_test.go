@@ -41,8 +41,30 @@ func TestMetricnameGolden(t *testing.T) {
 	analysistest.Run(t, mustLookup(t, "metricname"), "metricname")
 }
 
+func TestHotallocGolden(t *testing.T) {
+	analysistest.Run(t, mustLookup(t, "hotalloc"), "hotalloc")
+}
+
+func TestHotcallGolden(t *testing.T) {
+	analysistest.Run(t, mustLookup(t, "hotcall"), "hotcall")
+}
+
+func TestEscapebudgetGolden(t *testing.T) {
+	// The golden directory carries its own escape-budget.json, which
+	// takes precedence over the repo-level budget; its entries encode a
+	// grown escape, a lost inline, a missing entry, a suppressed
+	// finding, and a clean function.
+	analysistest.Run(t, mustLookup(t, "escapebudget"), "escapebudget")
+}
+
+func TestNodeterminismCmdScope(t *testing.T) {
+	// Satellite: the deterministic scope now covers the CLIs too.
+	analysistest.Run(t, mustLookup(t, "nodeterminism"), "prefix/cmd/clitool")
+}
+
 func TestAllRegistered(t *testing.T) {
-	want := []string{"nodeterminism", "mapiter", "spanend", "metricname"}
+	want := []string{"nodeterminism", "mapiter", "spanend", "metricname",
+		"hotalloc", "hotcall", "escapebudget"}
 	got := analysis.All()
 	if len(got) != len(want) {
 		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))

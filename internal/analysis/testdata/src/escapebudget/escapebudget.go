@@ -1,0 +1,61 @@
+// Package escapebudget is the escapebudget golden. The committed
+// escape-budget.json next to this file (dir-local budgets take
+// precedence over the repo-level one) encodes: a function whose budget
+// allows no escapes but which now moves a variable to the heap, a
+// function the budget requires to stay inlinable but which has grown
+// past the inlining cost ceiling, a function with no budget entry at
+// all, a suppressed finding, and a clean in-budget function.
+package escapebudget
+
+//prefix:hotpath
+func grewEscape() *int { // want `new heap escape in hot-path function escapebudget.grewEscape`
+	x := 7
+	return &x
+}
+
+//prefix:hotpath
+func lostInline(a, b uint64) uint64 { // want `lost inlinability`
+	a = a*31 + b
+	b = b*17 + a
+	a ^= b >> 3
+	b ^= a << 5
+	a = a*31 + b
+	b = b*17 + a
+	a ^= b >> 7
+	b ^= a << 9
+	a = a*31 + b
+	b = b*17 + a
+	a ^= b >> 11
+	b ^= a << 13
+	a = a*31 + b
+	b = b*17 + a
+	a ^= b >> 15
+	b ^= a << 17
+	a = a*31 + b
+	b = b*17 + a
+	a ^= b >> 19
+	b ^= a << 21
+	a = a*31 + b
+	b = b*17 + a
+	a ^= b >> 23
+	b ^= a << 25
+	a = a*31 + b
+	b = b*17 + a
+	return a ^ b
+}
+
+//prefix:hotpath
+func missingEntry(a, b int) int { // want `no escape-budget entry for escapebudget.missingEntry`
+	return a + b
+}
+
+//prefix:hotpath
+func suppressedEscape() *int { //lint:ignore escapebudget returning a pointer is this function's contract
+	y := 9
+	return &y
+}
+
+//prefix:hotpath
+func clean(a, b int) int {
+	return a*b + a
+}

@@ -1,0 +1,76 @@
+// Package hotalloc is the hotalloc golden: allocation-inducing
+// constructs inside //prefix:hotpath functions are findings, the same
+// constructs in unannotated functions are not, and //lint:ignore
+// hotalloc suppresses a finding in place.
+package hotalloc
+
+import "fmt"
+
+type counters struct {
+	vals []uint64
+	m    map[string]int
+}
+
+//prefix:hotpath
+func hotBuiltins(n int) []int {
+	buf := make([]int, n) // want `make allocates in hot-path function hotBuiltins`
+	p := new(int)         // want `new allocates`
+	_ = p
+	return append(buf, n) // want `append may grow its backing array`
+}
+
+//prefix:hotpath
+func hotLiterals(c *counters) {
+	c.vals = []uint64{1, 2} // want `slice literal allocates`
+	c.m = map[string]int{}  // want `map literal allocates`
+	c.m["k"] = 1            // want `map write may allocate`
+	_ = &counters{}         // want `&composite literal allocates`
+}
+
+//prefix:hotpath
+func hotStrings(name string, bs []byte) string {
+	s := name + "!"  // want `string concatenation allocates`
+	s += name        // want `string concatenation allocates`
+	_ = string(bs)   // want `conversion to string allocates`
+	_ = []byte(name) // want `conversion from string allocates`
+	return s
+}
+
+func sink(v any) { _ = v }
+
+//prefix:hotpath
+func hotFmtAndBoxing(x int) {
+	fmt.Println(x) // want `fmt.Println allocates`
+	sink(x)        // want `argument boxes into any`
+}
+
+//prefix:hotpath
+func hotClosure(limit int) int {
+	total := 0
+	add := func(v int) { total += v } // want `closure capturing total allocates`
+	add(limit)
+	return total
+}
+
+//prefix:hotpath
+func hotSuppressed(buf []int, n int) []int {
+	//lint:ignore hotalloc caller reserves capacity; this append never grows
+	return append(buf, n)
+}
+
+//prefix:hotpath
+func hotClean(buf []int, n int) int {
+	sum := 0
+	for _, v := range buf {
+		sum += v
+	}
+	return sum + n
+}
+
+// coldAlloc uses every flagged construct without the annotation: the
+// analyzer only walks //prefix:hotpath functions.
+func coldAlloc(n int) []int {
+	m := map[string]int{"k": n}
+	_ = fmt.Sprint(n)
+	return append(make([]int, 0), m["k"])
+}

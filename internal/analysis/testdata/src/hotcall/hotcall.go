@@ -1,0 +1,73 @@
+// Package hotcall is the hotcall golden: defer/go statements, dynamic
+// dispatch, and calls to unannotated module functions inside
+// //prefix:hotpath functions are findings. Callees in packages outside
+// the analysis run (here: the standard library) are tolerated.
+package hotcall
+
+import "sort"
+
+type recorder interface{ Record(int) }
+
+type hooks struct{ fire func() }
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+//prefix:hotpath
+func (c *counter) hotBump() { c.n++ }
+
+//prefix:hotpath
+func hotDefer(c *counter) {
+	defer c.bump() // want `defer in hot-path function hotDefer`
+	c.n++
+}
+
+//prefix:hotpath
+func hotGo(c *counter) {
+	go c.bump() // want `go statement in hot-path function hotGo`
+}
+
+//prefix:hotpath
+func hotIface(r recorder, n int) {
+	for i := 0; i < n; i++ {
+		r.Record(i) // want `interface method call .*Record dispatches dynamically`
+	}
+}
+
+//prefix:hotpath
+func hotCallsCold(c *counter) {
+	c.bump() // want `call to hotcall.counter.bump in hot-path function hotCallsCold: callee is not marked`
+}
+
+//prefix:hotpath
+func hotCallsHot(c *counter) {
+	c.hotBump()
+}
+
+//prefix:hotpath
+func hotFuncValue(f func()) {
+	f() // want `dynamic call through func value f`
+}
+
+//prefix:hotpath
+func hotFieldCall(h *hooks) {
+	h.fire() // want `dynamic call through func-valued field fire`
+}
+
+//prefix:hotpath
+func hotSuppressed(c *counter) {
+	//lint:ignore hotcall cold branch: runs once per simulation, not per event
+	c.bump()
+}
+
+//prefix:hotpath
+func hotStdlib(vals []int) {
+	sort.Ints(vals) // clean: sort is outside the analyzed module
+}
+
+// coldDefer is unannotated: the analyzer does not walk it.
+func coldDefer(c *counter) {
+	defer c.bump()
+	go c.bump()
+}

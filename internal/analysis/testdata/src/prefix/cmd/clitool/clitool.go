@@ -1,0 +1,20 @@
+// Package clitool is the nodeterminism golden for the CLI scope: since
+// the scope widened from prefix/internal/... to prefix/cmd/..., bare
+// wall-clock reads in commands are findings unless suppressed with a
+// reason (CLIs may timestamp artifacts, but each site must say why).
+package clitool
+
+import "time"
+
+func stampUnsuppressed() time.Time {
+	return time.Now() // want `non-deterministic time.Now`
+}
+
+func stampSuppressed() time.Time {
+	//lint:ignore nodeterminism output-file timestamp only; never enters a report
+	return time.Now()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `non-deterministic time.Since`
+}

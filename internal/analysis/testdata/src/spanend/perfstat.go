@@ -1,0 +1,65 @@
+// perfstat.go extends the spanend golden to perfstat scopes: a
+// Collector.Begin acquisition follows the same End-on-all-paths rule as
+// Tracer.Start, including when the scope is chained through AttachSpan.
+package spanend
+
+import (
+	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
+)
+
+// perfMissingEnd never ends the scope: the host sample is dropped.
+func perfMissingEnd(perf *perfstat.Collector) {
+	sc := perf.Begin("simulate") // want `missing sc\.End\(\)`
+	sc.AddEvents(100)
+}
+
+// perfDiscarded loses the scope entirely.
+func perfDiscarded(perf *perfstat.Collector) {
+	perf.Begin("simulate") // want `span is discarded`
+}
+
+// perfDeferred is the canonical healthy shape.
+func perfDeferred(perf *perfstat.Collector) {
+	sc := perf.Begin("simulate")
+	defer sc.End()
+	sc.AddEvents(100)
+}
+
+// perfSameBlock ends explicitly in the acquisition's own block.
+func perfSameBlock(perf *perfstat.Collector) perfstat.Sample {
+	sc := perf.Begin("simulate")
+	sc.AddEvents(100)
+	return sc.End()
+}
+
+// perfConditional ends the scope on only one path.
+func perfConditional(perf *perfstat.Collector, fail bool) {
+	sc := perf.Begin("simulate") // want `only called on some paths`
+	if !fail {
+		sc.End()
+	}
+}
+
+// perfAttachChainDeferred mirrors the CLIs: Begin chained through
+// AttachSpan binds the same scope, and the deferred End satisfies it.
+func perfAttachChainDeferred(perf *perfstat.Collector, root *obs.Span) {
+	sc := perf.Begin("run").AttachSpan(root)
+	defer sc.End()
+}
+
+// perfAttachChainMissing must still be caught through the chain.
+func perfAttachChainMissing(perf *perfstat.Collector, root *obs.Span) {
+	sc := perf.Begin("run").AttachSpan(root) // want `missing sc\.End\(\)`
+	sc.AddEvents(1)
+}
+
+// perfHandedOff transfers ownership to the callee.
+func perfHandedOff(perf *perfstat.Collector) {
+	sc := perf.Begin("simulate")
+	endElsewhere(sc)
+}
+
+func endElsewhere(sc *perfstat.Scope) {
+	sc.End()
+}

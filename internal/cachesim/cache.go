@@ -110,11 +110,15 @@ func MustCache(size, line uint64, ways int) *Cache {
 func (c *Cache) BlockOf(addr mem.Addr) uint64 { return uint64(addr) >> c.shift }
 
 // Access touches the block containing addr and reports whether it hit.
+//
+//prefix:hotpath
 func (c *Cache) Access(addr mem.Addr) bool {
 	return c.AccessBlock(uint64(addr) >> c.shift)
 }
 
 // AccessBlock is Access on a precomputed block number.
+//
+//prefix:hotpath
 func (c *Cache) AccessBlock(block uint64) bool {
 	c.accesses++
 	set := block & (c.sets - 1)
@@ -132,11 +136,15 @@ func (c *Cache) AccessBlock(block uint64) bool {
 // demand access — same LRU refresh on hit, same fill/eviction on miss —
 // but without touching the demand accesses/misses counters. Prefetchers
 // use it so non-demand traffic never skews MissRate.
+//
+//prefix:hotpath
 func (c *Cache) Install(addr mem.Addr) {
 	c.InstallBlock(uint64(addr) >> c.shift)
 }
 
 // InstallBlock is Install on a precomputed block number.
+//
+//prefix:hotpath
 func (c *Cache) InstallBlock(block uint64) {
 	set := block & (c.sets - 1)
 	base := int(set) * c.ways
@@ -150,6 +158,8 @@ func (c *Cache) InstallBlock(block uint64) {
 // lookup probes the set window for block, refreshing recency order on a
 // hit; it reports residency. Shared by the demand and install paths so
 // their content transitions are identical by construction.
+//
+//prefix:hotpath
 func (c *Cache) lookup(block uint64, base, n int) bool {
 	ws := c.tags[base : base+n]
 	for i, tag := range ws {
@@ -167,6 +177,8 @@ func (c *Cache) lookup(block uint64, base, n int) bool {
 
 // fillWay inserts block into a set that does not hold it: fill an empty
 // way when one exists, otherwise evict per the replacement policy.
+//
+//prefix:hotpath
 func (c *Cache) fillWay(block, set uint64, base, n int) {
 	switch {
 	case n < c.ways:
@@ -222,6 +234,8 @@ func (c *Cache) MissRate() float64 {
 // Reset clears contents and counters in place: fill counts drop to zero
 // and the flat tag array is kept, so a post-reset refill re-pays no
 // allocations.
+//
+//prefix:hotpath
 func (c *Cache) Reset() {
 	for i := range c.fill {
 		c.fill[i] = 0

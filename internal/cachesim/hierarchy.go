@@ -151,6 +151,8 @@ func SharedLLC(cfg Config) *Cache { return MustCache(cfg.LLCSize, cfg.Line, cfg.
 // array, so the whole L1→L2→LLC→TLB path is adds, shifts, and one short
 // probe loop per level — no per-level address re-derivation and no
 // allocation.
+//
+//prefix:hotpath
 func (h *Hierarchy) Access(addr mem.Addr, size uint64) {
 	if size == 0 {
 		size = 1
@@ -203,6 +205,8 @@ func (h *Hierarchy) Access(addr mem.Addr, size uint64) {
 // so attribution-mode simulation produces aggregate Counts identical to
 // the plain path by construction, and every access's events land in
 // exactly one delta (summing deltas reproduces Counts()).
+//
+//prefix:hotpath
 func (h *Hierarchy) AccessDelta(addr mem.Addr, size uint64) Counts {
 	before := h.counts
 	h.Access(addr, size)
@@ -266,6 +270,8 @@ func (c *Counts) Add(o Counts) {
 // Sub returns the field-wise difference c-o. Callers pair it with a
 // snapshot taken before a batch of accesses to attribute just that
 // batch; o must be an earlier snapshot of the same counter set.
+//
+//prefix:hotpath
 func (c Counts) Sub(o Counts) Counts {
 	return Counts{
 		Accesses:   c.Accesses - o.Accesses,

@@ -55,6 +55,8 @@ func (s *Stack) Depth() int { return len(s.frames) }
 
 // Sig returns the signature of the current stack. The empty stack has the
 // FNV offset basis as its signature.
+//
+//prefix:hotpath
 func (s *Stack) Sig() mem.StackSig {
 	if n := len(s.sigs); n > 0 {
 		return s.sigs[n-1]

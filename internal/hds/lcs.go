@@ -14,6 +14,8 @@ import (
 // LCS computes a longest common subsequence of a and b with the classic
 // O(len(a)·len(b)) dynamic program. Deterministic: on ties it prefers
 // advancing b, so equal inputs yield equal outputs across runs.
+//
+//prefix:hotpath
 func LCS(a, b []mem.ObjectID) []mem.ObjectID {
 	var lb lcsBuf
 	return lb.lcs(a, b)
@@ -31,6 +33,8 @@ type lcsBuf struct {
 // closure calls — and carries the row-running "left" value in a
 // register; cell values (and therefore the traceback and the returned
 // subsequence) are identical to the classic formulation.
+//
+//prefix:hotpath
 func (lb *lcsBuf) lcs(a, b []mem.ObjectID) []mem.ObjectID {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
@@ -38,6 +42,7 @@ func (lb *lcsBuf) lcs(a, b []mem.ObjectID) []mem.ObjectID {
 	}
 	need := (n + 1) * (m + 1)
 	if cap(lb.dp) < need {
+		//lint:ignore hotalloc the table is the buffer being reused; it grows to the high-water mark once, then every later pair hits the else branch
 		lb.dp = make([]uint32, need)
 	} else {
 		// Reuse the table: only row 0 and column 0 are read before being
@@ -65,8 +70,10 @@ func (lb *lcsBuf) lcs(a, b []mem.ObjectID) []mem.ObjectID {
 			left = v
 		}
 	}
-	at := func(i, j int) uint32 { return dp[i*(m+1)+j] }
-	out := make([]mem.ObjectID, at(n, m))
+	// Traceback indexes the flat table directly (w = row stride).
+	w := m + 1
+	//lint:ignore hotalloc the returned subsequence is the function's product, sized exactly from the final cell
+	out := make([]mem.ObjectID, dp[n*w+m])
 	k := len(out)
 	for i, j := n, m; i > 0 && j > 0; {
 		switch {
@@ -75,7 +82,7 @@ func (lb *lcsBuf) lcs(a, b []mem.ObjectID) []mem.ObjectID {
 			out[k] = a[i-1]
 			i--
 			j--
-		case at(i-1, j) >= at(i, j-1):
+		case dp[(i-1)*w+j] >= dp[i*w+j-1]:
 			i--
 		default:
 			j--

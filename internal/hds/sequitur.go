@@ -34,7 +34,9 @@ type seqRule struct {
 	uses  int
 }
 
+//prefix:hotpath
 func (s *Sequitur) newRule(id int) *seqRule {
+	//lint:ignore hotalloc one node per discovered rule; rules are rare relative to the symbols they compress
 	r := &seqRule{id: id}
 	g := s.newSymbol()
 	g.guard = true
@@ -44,12 +46,16 @@ func (s *Sequitur) newRule(id int) *seqRule {
 	return r
 }
 
+//prefix:hotpath
 func (r *seqRule) first() *seqSymbol { return r.guard.next }
-func (r *seqRule) last() *seqSymbol  { return r.guard.prev }
+
+//prefix:hotpath
+func (r *seqRule) last() *seqSymbol { return r.guard.prev }
 
 // digram is the key of the digram index.
 type digram struct{ a, b uint64 }
 
+//prefix:hotpath
 func symKey(s *seqSymbol) uint64 {
 	if s.rule != nil {
 		return 1<<63 | uint64(s.rule.id)
@@ -71,8 +77,11 @@ type Sequitur struct {
 // symbols are never recycled — the digram index may still hold pointers to
 // them, and a stale-but-unreused node is harmless while a reused one would
 // corrupt the index.
+//
+//prefix:hotpath
 func (s *Sequitur) newSymbol() *seqSymbol {
 	if len(s.slab) == 0 {
+		//lint:ignore hotalloc bump-pointer arena refill: one chunk allocation amortized over 1024 symbol nodes
 		s.slab = make([]seqSymbol, 1024)
 	}
 	sym := &s.slab[0]
@@ -93,6 +102,8 @@ func NewSequitur() *Sequitur {
 }
 
 // Append feeds the next object reference into the grammar.
+//
+//prefix:hotpath
 func (s *Sequitur) Append(obj mem.ObjectID) {
 	sym := s.newSymbol()
 	sym.term = obj
@@ -101,6 +112,8 @@ func (s *Sequitur) Append(obj mem.ObjectID) {
 }
 
 // insertAfter links n after p (p may be a guard).
+//
+//prefix:hotpath
 func (s *Sequitur) insertAfter(p, n *seqSymbol) {
 	n.prev = p
 	n.next = p.next
@@ -109,6 +122,8 @@ func (s *Sequitur) insertAfter(p, n *seqSymbol) {
 }
 
 // remove unlinks n (not a guard) without touching the digram index.
+//
+//prefix:hotpath
 func (s *Sequitur) remove(n *seqSymbol) {
 	n.prev.next = n.next
 	n.next.prev = n.prev
@@ -116,6 +131,8 @@ func (s *Sequitur) remove(n *seqSymbol) {
 
 // digramOf returns the digram starting at a, or ok=false when a or its
 // successor is a guard.
+//
+//prefix:hotpath
 func digramOf(a *seqSymbol) (digram, bool) {
 	if a == nil || a.guard || a.next.guard {
 		return digram{}, false
@@ -124,6 +141,8 @@ func digramOf(a *seqSymbol) (digram, bool) {
 }
 
 // unindex forgets the digram starting at a if the index points at a.
+//
+//prefix:hotpath
 func (s *Sequitur) unindex(a *seqSymbol) {
 	if d, ok := digramOf(a); ok {
 		if s.index[d] == a {
@@ -133,7 +152,11 @@ func (s *Sequitur) unindex(a *seqSymbol) {
 }
 
 // check enforces digram uniqueness for the digram starting at a. Returns
-// true when a substitution happened.
+// true when a substitution happened. The digram index writes below are
+// the algorithm itself — Sequitur is defined by this map — so they carry
+// reasoned suppressions rather than being designed away.
+//
+//prefix:hotpath
 func (s *Sequitur) check(a *seqSymbol) bool {
 	d, ok := digramOf(a)
 	if !ok {
@@ -141,6 +164,7 @@ func (s *Sequitur) check(a *seqSymbol) bool {
 	}
 	match, exists := s.index[d]
 	if !exists {
+		//lint:ignore hotalloc recording a first digram occurrence is the digram-uniqueness invariant at work
 		s.index[d] = a
 		return false
 	}
@@ -156,6 +180,7 @@ func (s *Sequitur) check(a *seqSymbol) bool {
 	} else {
 		r := s.newRule(s.nextID)
 		s.nextID++
+		//lint:ignore hotalloc rule registration happens once per discovered rule, not per input symbol
 		s.rules[r.id] = r
 		// Move copies of the two symbols into the rule body.
 		ra := s.newSymbol()
@@ -170,6 +195,7 @@ func (s *Sequitur) check(a *seqSymbol) bool {
 		if rb.rule != nil {
 			rb.rule.uses++
 		}
+		//lint:ignore hotalloc repointing the digram index at the canonical rule-body occurrence is part of the uniqueness invariant
 		s.index[d] = ra
 		s.substitute(match, r)
 		s.substitute(a, r)
@@ -179,6 +205,8 @@ func (s *Sequitur) check(a *seqSymbol) bool {
 
 // substitute replaces the digram starting at a with a reference to rule r,
 // maintaining both invariants.
+//
+//prefix:hotpath
 func (s *Sequitur) substitute(a *seqSymbol, r *seqRule) {
 	b := a.next
 	// Forget digrams that are about to disappear.
@@ -212,6 +240,8 @@ func (s *Sequitur) substitute(a *seqSymbol, r *seqRule) {
 // inlining is deferred: we record it and inline lazily during expansion,
 // because eager inlining requires tracking the single use site. For stream
 // extraction, under-used rules are simply skipped.
+//
+//prefix:hotpath
 func (s *Sequitur) decrementUse(r *seqRule) {
 	r.uses--
 }

@@ -156,7 +156,10 @@ func newEventBatch(rec trace.EventRecorder) *eventBatch {
 }
 
 // add appends one event, flushing when the batch fills.
+//
+//prefix:hotpath
 func (b *eventBatch) add(ev trace.Event) {
+	//lint:ignore hotalloc buffer is preallocated at cap batchEvents and flushed at cap, so this append never grows
 	b.buf = append(b.buf, ev)
 	if len(b.buf) == cap(b.buf) {
 		b.flush()
@@ -164,24 +167,34 @@ func (b *eventBatch) add(ev trace.Event) {
 }
 
 // flush hands the buffered events to the recorder and empties the
-// batch, keeping its storage.
+// batch, keeping its storage. The interface crossings below are the
+// point of the batch: they happen once per batchEvents events (or once
+// per event only on the legacy non-bulk recorder fallback), not on the
+// per-event path.
+//
+//prefix:hotpath
 func (b *eventBatch) flush() {
 	if len(b.buf) == 0 {
 		return
 	}
 	if b.bulk != nil {
+		//lint:ignore hotcall one dispatch per 256-event batch is the amortization this type exists for
 		b.bulk.RecordBatch(b.buf)
 	} else {
 		for i := range b.buf {
 			ev := &b.buf[i]
 			switch ev.Kind {
 			case trace.KindAlloc:
+				//lint:ignore hotcall non-bulk recorder fallback: per-event dispatch is the legacy path, not the pinned one
 				b.rec.Alloc(ev.Site, ev.Stack, ev.Addr, ev.Size)
 			case trace.KindFree:
+				//lint:ignore hotcall non-bulk recorder fallback: per-event dispatch is the legacy path, not the pinned one
 				b.rec.Free(ev.Addr)
 			case trace.KindRealloc:
+				//lint:ignore hotcall non-bulk recorder fallback: per-event dispatch is the legacy path, not the pinned one
 				b.rec.Realloc(ev.Addr, ev.Addr2, ev.Size)
 			case trace.KindAccess:
+				//lint:ignore hotcall non-bulk recorder fallback: per-event dispatch is the legacy path, not the pinned one
 				b.rec.Access(ev.Addr, ev.Size, ev.Write)
 			}
 		}
@@ -259,12 +272,16 @@ func (m *Machine) Leave() {
 }
 
 // Malloc implements Env.
+//
+//prefix:hotpath
 func (m *Machine) Malloc(site mem.SiteID, size uint64) mem.Addr {
+	//lint:ignore hotcall the Allocator under test is the experiment's variable; one dispatch per allocator event is the unit of work measured
 	addr, instr := m.alloc.Malloc(site, m.stack.Sig(), size)
 	m.m.Instr += instr
 	m.m.AllocInstr += instr
 	m.m.Mallocs++
 	if m.attrib != nil {
+		//lint:ignore hotcall attribution is opt-in observability off the pinned fast path; disabled runs pay only this nil check
 		m.attrib.register(site, addr, size)
 	}
 	if m.rec != nil {
@@ -274,15 +291,19 @@ func (m *Machine) Malloc(site mem.SiteID, size uint64) mem.Addr {
 }
 
 // Free implements Env.
+//
+//prefix:hotpath
 func (m *Machine) Free(addr mem.Addr) {
 	if addr == mem.NilAddr {
 		return
 	}
+	//lint:ignore hotcall the Allocator under test is the experiment's variable; one dispatch per allocator event is the unit of work measured
 	instr := m.alloc.Free(addr)
 	m.m.Instr += instr
 	m.m.AllocInstr += instr
 	m.m.Frees++
 	if m.attrib != nil {
+		//lint:ignore hotcall attribution is opt-in observability off the pinned fast path; disabled runs pay only this nil check
 		m.attrib.unregister(addr)
 	}
 	if m.rec != nil {
@@ -291,12 +312,16 @@ func (m *Machine) Free(addr mem.Addr) {
 }
 
 // Realloc implements Env.
+//
+//prefix:hotpath
 func (m *Machine) Realloc(addr mem.Addr, size uint64) mem.Addr {
+	//lint:ignore hotcall the Allocator under test is the experiment's variable; one dispatch per allocator event is the unit of work measured
 	na, instr := m.alloc.Realloc(addr, size)
 	m.m.Instr += instr
 	m.m.AllocInstr += instr
 	m.m.Reallocs++
 	if m.attrib != nil {
+		//lint:ignore hotcall attribution is opt-in observability off the pinned fast path; disabled runs pay only this nil check
 		m.attrib.realloc(addr, na, size)
 	}
 	if m.rec != nil {
@@ -306,21 +331,28 @@ func (m *Machine) Realloc(addr mem.Addr, size uint64) mem.Addr {
 }
 
 // Read implements Env.
+//
+//prefix:hotpath
 func (m *Machine) Read(addr mem.Addr, size uint64) { m.access(addr, size, false) }
 
 // Write implements Env.
+//
+//prefix:hotpath
 func (m *Machine) Write(addr mem.Addr, size uint64) { m.access(addr, size, true) }
 
 // access is the per-event hot path: a flat hierarchy walk, two metric
 // adds, and — on the recording-free path — nothing else but one nil
 // check. Recording runs append into the concrete event batch, so the
 // recorder interface is crossed once per batch, not per event.
+//
+//prefix:hotpath
 func (m *Machine) access(addr mem.Addr, size uint64, write bool) {
 	if m.attrib == nil {
 		m.hier.Access(addr, size)
 	} else {
 		// Attribution mode walks the identical Access path; the delta is
 		// a snapshot subtract, so aggregate Counts cannot diverge.
+		//lint:ignore hotcall attribution is opt-in observability off the pinned fast path; disabled runs pay only this nil check
 		m.attrib.observe(addr, m.hier.AccessDelta(addr, size))
 	}
 	m.m.Instr++
@@ -331,6 +363,8 @@ func (m *Machine) access(addr mem.Addr, size uint64, write bool) {
 }
 
 // Compute implements Env.
+//
+//prefix:hotpath
 func (m *Machine) Compute(n uint64) { m.m.Instr += n }
 
 // Finish closes the run and returns the metrics. It flushes the final
