@@ -1,6 +1,8 @@
 // Command prefix-trajectory reads the committed benchstore snapshots
 // (BENCH_*.json) and prints each benchmark's trajectory across them:
-// host events/sec and simulated L1/LLC miss rates per run, oldest
+// host events/sec, the analyze stage's own throughput and shard count
+// (schema 4; "n/a" on older snapshots), and simulated L1/LLC miss
+// rates per run, oldest
 // first, with the first-to-last drift summarized. It answers "is the
 // harness getting faster or slower over the project's history" from
 // artifacts already in the repository — no benchmarks are run.
@@ -68,11 +70,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\n%s:\n", name)
 		tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "  timestamp\tgit\tevents/sec\tL1 miss\tLLC miss\tdelta t")
+		fmt.Fprintln(tw, "  timestamp\tgit\tevents/sec\tanalysis ev/s\tL1 miss\tLLC miss\tdelta t")
 		for _, p := range points {
-			fmt.Fprintf(tw, "  %s\t%s\t%s\t%.2f%%\t%.3f%%\t%+.1f%%\n",
+			fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%.2f%%\t%.3f%%\t%+.1f%%\n",
 				p.run.Timestamp, orShort(p.run.GitSHA),
-				eventsPerSec(p.b), p.b.L1MissPct, p.b.LLCMissPct, p.b.TimeDeltaPct)
+				eventsPerSec(p.b), analysisEPS(p.b), p.b.L1MissPct, p.b.LLCMissPct, p.b.TimeDeltaPct)
 		}
 		if err := tw.Flush(); err != nil {
 			return err
@@ -160,6 +162,16 @@ func eventsPerSec(b benchstore.Benchmark) string {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.0f", b.Host.EventsPerSec)
+}
+
+// analysisEPS renders the analyze stage's own throughput with its shard
+// count, e.g. "1234567 (x4)"; pre-v4 snapshots have no analysis section
+// and render "n/a".
+func analysisEPS(b benchstore.Benchmark) string {
+	if b.Analysis == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f (x%d)", b.Analysis.EventsPerSec, b.Analysis.Shards)
 }
 
 // trendPct formats a first-to-last relative change, tolerating schema-1

@@ -26,6 +26,7 @@ func snapshot(t *testing.T, dir string, ts time.Time, eps, llcPct float64, host 
 	}
 	if host {
 		b.Host = &benchstore.HostStats{WallNanos: 1e9, Events: uint64(eps), EventsPerSec: eps}
+		b.Analysis = &benchstore.AnalysisStats{WallNanos: 1e8, Events: uint64(eps), EventsPerSec: 10 * eps, Shards: 4}
 	}
 	run := &benchstore.Run{
 		Schema:     benchstore.Schema,
@@ -59,8 +60,10 @@ func TestTrajectory(t *testing.T) {
 		"3 snapshots",
 		"mcf:",
 		"events/sec",
+		"analysis ev/s",
 		"500000",
 		"750000",
+		"7500000 (x4)",
 		"trend over 3 runs: events/sec +50.0%",
 		"LLC miss -1.000pp",
 	} {
@@ -92,6 +95,18 @@ func TestTrajectoryNoHost(t *testing.T) {
 	}
 	if !strings.Contains(text, "events/sec n/a") {
 		t.Errorf("trend with a hostless endpoint should be n/a:\n%s", text)
+	}
+	// The analysis column degrades the same way on snapshots that
+	// predate the schema-4 analysis section: the hostless row renders
+	// n/a in both throughput columns.
+	hostlessRow := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "2026-08-01T12:00:00Z") {
+			hostlessRow = line
+		}
+	}
+	if strings.Count(hostlessRow, "n/a") != 2 {
+		t.Errorf("hostless row should render n/a events/sec and n/a analysis ev/s:\n%s", text)
 	}
 }
 

@@ -6,8 +6,9 @@
 // numbers: best-variant cycles, cache miss rates, baseline pollution,
 // PreFix capture precision, and peak memory — plus, since schema 2, the
 // per-benchmark host cost (wall time, events/sec throughput, heap
-// allocation, GC pauses), so the simulator's own performance trajectory
-// is gated alongside the simulated results.
+// allocation, GC pauses) and, since schema 4, the analyze stage's own
+// throughput and shard count, so the simulator's own performance
+// trajectory is gated alongside the simulated results.
 package benchstore
 
 import (
@@ -28,9 +29,11 @@ import (
 // Schema is the document version; bump on incompatible field changes.
 // Version 2 added the per-benchmark "host" section; version 3 the
 // optional per-benchmark "attrib" section (recorded only by attributed
-// runs). Version 1 documents (no host stats) still load, so old
-// baselines keep gating the simulated metrics.
-const Schema = 3
+// runs); version 4 the per-benchmark "analysis" section (the analyze
+// stage's own wall time, events/sec, and shard count). Version 1
+// documents (no host stats) still load, so old baselines keep gating
+// the simulated metrics.
+const Schema = 4
 
 // minReadSchema is the oldest document version Read still accepts.
 const minReadSchema = 1
@@ -74,6 +77,10 @@ type Benchmark struct {
 	// Attrib is the best run's per-site attribution summary (schema 3;
 	// nil in older documents and in runs recorded without -attrib).
 	Attrib *AttribStats `json:"attrib,omitempty"`
+	// Analysis is the profiling analyze stage's own host cost (schema 4;
+	// nil in older documents and in runs recorded without a perfstat
+	// collector) — the series the sharded-analysis path is gated on.
+	Analysis *AnalysisStats `json:"analysis,omitempty"`
 }
 
 // HostStats is the per-benchmark host-cost section: what the simulator
@@ -102,6 +109,18 @@ type AttribStats struct {
 	// UnattributedLLCPct is the share of LLC misses that hit memory no
 	// tracked allocation owns (globals, stacks, freed objects).
 	UnattributedLLCPct float64 `json:"unattributed_llc_pct"`
+}
+
+// AnalysisStats is the per-benchmark analyze-stage section: what the
+// trace analysis alone cost on the host, and how many shards produced
+// it (1 = the legacy single-pass analyzer). EventsPerSec divides the
+// profiling trace's event count by the stage's wall time — the number
+// the sharded path exists to raise.
+type AnalysisStats struct {
+	WallNanos    int64   `json:"wall_nanos"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Shards       int     `json:"shards"`
 }
 
 // Meta is the run-level metadata recorded alongside the results.
@@ -163,6 +182,14 @@ func FromComparisons(cmps []*pipeline.Comparison, meta Meta) *Run {
 				st.UnattributedLLCPct = 100 * float64(sentinel.Counts.LLCMisses) / float64(total)
 			}
 			b.Attrib = st
+		}
+		if p := c.Profile; p != nil && p.AnalysisHost != nil {
+			b.Analysis = &AnalysisStats{
+				WallNanos:    p.AnalysisHost.WallNanos,
+				Events:       p.AnalysisHost.Events,
+				EventsPerSec: p.AnalysisHost.EventsPerSec(),
+				Shards:       p.AnalysisShards,
+			}
 		}
 		if h := c.Host; h != nil {
 			b.Host = &HostStats{
@@ -288,6 +315,17 @@ var tracked = []metric{
 			return 0
 		}
 		return b.Host.EventsPerSec
+	}},
+	// analysis_events_per_sec gates the schema-4 analyze-stage
+	// throughput: lower is worse, and the same 1.5× host-metric slack
+	// applies. NaN marks the section absent (a pre-v4 baseline, or a run
+	// recorded without perfstat), so the metric gates only between two
+	// documents that both carry it.
+	{name: "analysis_events_per_sec", higherWorse: false, slack: 1.5, get: func(b Benchmark) float64 {
+		if b.Analysis == nil {
+			return math.NaN()
+		}
+		return b.Analysis.EventsPerSec
 	}},
 	// The attrib_* metrics gate the schema-3 attribution section. NaN
 	// marks the section absent (a run without -attrib, or a pre-v3

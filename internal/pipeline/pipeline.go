@@ -78,6 +78,15 @@ type Options struct {
 	// per-benchmark Explain document as each suite job completes; the
 	// obshttp /explain endpoint serves its snapshot.
 	Explain *obs.ExplainStore
+	// Shards selects the analysis path for profiling traces. Values > 1
+	// route the analyze stage through the sharded pool (parallel chunk
+	// decode feeding per-shard analyzers with a deterministic merge),
+	// whose output is identical to the single-pass analyzer's at every
+	// shard count; 0 and 1 select the legacy single-pass path. Shard
+	// workers are bracketed by perfstat scopes ("analyze-decode",
+	// "analyze-shard", "analyze-merge") when Perf is attached and emit
+	// shard-stage JobEvents through Progress.
+	Shards int
 	// Stream routes profiling runs through the bounded-memory path: the
 	// machine records into a spill-to-disk chunked trace file and the
 	// analysis consumes it as a stream, so peak trace-buffer memory is
@@ -98,6 +107,21 @@ func (o Options) progress(ev obs.JobEvent) {
 	if o.Progress != nil {
 		o.Progress(ev)
 	}
+}
+
+// shardConfig assembles the trace-layer sharding configuration for one
+// benchmark's analyze stage: the shard count, the host-cost collector,
+// and a progress adapter stamping the benchmark name onto the shard
+// workers' JobEvents before forwarding them.
+func (o Options) shardConfig(benchmark string) trace.ShardConfig {
+	cfg := trace.ShardConfig{Shards: o.Shards, Perf: o.Perf}
+	if prog := o.Progress; prog != nil {
+		cfg.Progress = func(ev obs.JobEvent) {
+			ev.Benchmark = benchmark
+			prog(ev)
+		}
+	}
+	return cfg
 }
 
 // instrumentJob brackets one job body with running/done/failed progress
@@ -142,6 +166,13 @@ type Profile struct {
 	// Stats is what the profiling recorder captured (event count, spill
 	// chunking) — the event total feeds host-cost throughput accounting.
 	Stats trace.RecorderStats
+	// AnalysisHost is the analyze stage's own host-cost sample (wall
+	// time, allocation, events/sec over the trace's events), measured
+	// when Options.Perf is attached; nil otherwise. AnalysisShards is
+	// the shard count the analysis ran with (1 = single-pass). Neither
+	// feeds report output.
+	AnalysisHost   *perfstat.Sample
+	AnalysisShards int
 }
 
 // CollectProfile runs the benchmark's profiling input under the tracing
@@ -166,12 +197,13 @@ func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profil
 		a       *trace.Analysis
 		metrics machine.Metrics
 		stats   trace.RecorderStats
+		anHost  *perfstat.Sample
 		err     error
 	)
 	if opt.Stream {
-		a, metrics, stats, err = streamProfileRun(spec, opt, parent)
+		a, metrics, stats, anHost, err = streamProfileRun(spec, opt, parent)
 	} else {
-		a, metrics, stats = memoryProfileRun(spec, opt, parent)
+		a, metrics, stats, anHost = memoryProfileRun(spec, opt, parent)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s streaming profile: %w", name, err)
@@ -217,12 +249,14 @@ func collectProfile(spec workloads.Spec, opt Options, parent *obs.Span) (*Profil
 		StreamsSequitur: seq,
 		Metrics:         metrics,
 		Stats:           stats,
+		AnalysisHost:    anHost,
+		AnalysisShards:  max(opt.Shards, 1),
 	}, nil
 }
 
 // memoryProfileRun is the reference profiling path: record the whole
-// trace in memory, then analyze it.
-func memoryProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (*trace.Analysis, machine.Metrics, trace.RecorderStats) {
+// trace in memory, then analyze it (sharded when Options.Shards > 1).
+func memoryProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (*trace.Analysis, machine.Metrics, trace.RecorderStats, *perfstat.Sample) {
 	runSpan := parent.Child("profile-run")
 	rec := trace.NewRecorder()
 	alloc := baselines.NewBaseline(opt.Cache.Cost)
@@ -235,23 +269,38 @@ func memoryProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (*trac
 	runSpan.End()
 
 	anSpan := parent.Child("analyze")
-	a := trace.Analyze(tr)
+	asc := opt.Perf.Begin("analyze").AttachSpan(anSpan)
+	var a *trace.Analysis
+	if opt.Shards > 1 {
+		a = trace.AnalyzeTraceSharded(tr, opt.shardConfig(spec.Program.Name()))
+	} else {
+		a = trace.Analyze(tr)
+	}
+	asc.AddEvents(stats.Events)
+	sample := asc.End()
 	anSpan.Set("objects", len(a.Objects))
 	anSpan.Set("heap_accesses", a.HeapAccesses)
+	anSpan.Set("shards", max(opt.Shards, 1))
 	anSpan.End()
-	return a, metrics, stats
+	var host *perfstat.Sample
+	if opt.Perf != nil {
+		host = &sample
+	}
+	return a, metrics, stats, host
 }
 
 // streamProfileRun is the bounded-memory profiling path: the machine
 // records through a spill-to-disk recorder into a temporary chunked
-// trace file, which is then analyzed as a stream. Trace-buffer memory
-// never exceeds one chunk (StreamChunkEvents events).
-func streamProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (_ *trace.Analysis, metrics machine.Metrics, stats trace.RecorderStats, err error) {
+// trace file, which is then analyzed as a stream (sharded when
+// Options.Shards > 1 — indexed spill files decode in parallel).
+// Trace-buffer memory never exceeds one chunk (StreamChunkEvents
+// events).
+func streamProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (_ *trace.Analysis, metrics machine.Metrics, stats trace.RecorderStats, host *perfstat.Sample, err error) {
 	runSpan := parent.Child("profile-run")
 	f, err := os.CreateTemp(opt.StreamDir, "prefix-spill-*.pfxt")
 	if err != nil {
 		runSpan.End()
-		return nil, metrics, stats, err
+		return nil, metrics, stats, nil, err
 	}
 	defer func() {
 		f.Close()
@@ -260,7 +309,7 @@ func streamProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (_ *tr
 	rec, err := trace.NewSpillRecorder(f, opt.StreamChunkEvents)
 	if err != nil {
 		runSpan.End()
-		return nil, metrics, stats, err
+		return nil, metrics, stats, nil, err
 	}
 	alloc := baselines.NewBaseline(opt.Cache.Cost)
 	m := machine.New(alloc, opt.Cache, machine.WithRecorder(rec))
@@ -268,7 +317,7 @@ func streamProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (_ *tr
 	metrics = m.Finish()
 	if err := rec.Close(); err != nil {
 		runSpan.End()
-		return nil, metrics, stats, err
+		return nil, metrics, stats, nil, err
 	}
 	stats = rec.Stats()
 	runSpan.Set("events", stats.Events)
@@ -279,22 +328,33 @@ func streamProfileRun(spec workloads.Spec, opt Options, parent *obs.Span) (_ *tr
 	anSpan := parent.Child("analyze")
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		anSpan.End()
-		return nil, metrics, stats, err
+		return nil, metrics, stats, nil, err
 	}
-	sr, err := trace.NewStreamReader(f)
+	asc := opt.Perf.Begin("analyze").AttachSpan(anSpan)
+	var a *trace.Analysis
+	if opt.Shards > 1 {
+		a, err = trace.AnalyzeStreamSharded(f, opt.shardConfig(spec.Program.Name()))
+	} else {
+		var sr *trace.StreamReader
+		sr, err = trace.NewStreamReader(f)
+		if err == nil {
+			a, err = trace.AnalyzeSource(sr)
+		}
+	}
+	asc.AddEvents(stats.Events)
+	sample := asc.End()
 	if err != nil {
 		anSpan.End()
-		return nil, metrics, stats, err
+		return nil, metrics, stats, nil, err
 	}
-	a, err := trace.AnalyzeSource(sr)
-	if err != nil {
-		anSpan.End()
-		return nil, metrics, stats, err
+	if opt.Perf != nil {
+		host = &sample
 	}
 	anSpan.Set("objects", len(a.Objects))
 	anSpan.Set("heap_accesses", a.HeapAccesses)
+	anSpan.Set("shards", max(opt.Shards, 1))
 	anSpan.End()
-	return a, metrics, stats, nil
+	return a, metrics, stats, host, nil
 }
 
 func weigh(streams []hds.Stream, hot *hotness.Set) []hds.Stream {

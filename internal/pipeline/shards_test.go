@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
+	"prefix/internal/workloads"
+)
+
+// TestCollectProfileShardedParity is the pipeline-layer acceptance check
+// for the sharded analysis path: routing the analyze stage through N
+// parallel shards — on both the in-memory and the spill-to-disk
+// streaming profile — must produce a profile identical to the
+// single-pass reference at every shard count.
+func TestCollectProfileShardedParity(t *testing.T) {
+	spec, err := workloads.Get("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := CollectProfile(spec, fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.AnalysisShards != 1 {
+		t.Fatalf("reference AnalysisShards = %d, want 1", ref.AnalysisShards)
+	}
+
+	for _, stream := range []bool{false, true} {
+		for _, shards := range []int{2, 3, 8} {
+			opt := fastOpt()
+			opt.Shards = shards
+			opt.Stream = stream
+			if stream {
+				opt.StreamChunkEvents = 512
+				opt.StreamDir = t.TempDir()
+			}
+			prof, err := CollectProfile(spec, opt)
+			if err != nil {
+				t.Fatalf("stream=%v shards=%d: %v", stream, shards, err)
+			}
+			if !reflect.DeepEqual(ref.Analysis, prof.Analysis) {
+				t.Errorf("stream=%v shards=%d: analysis differs from single-pass", stream, shards)
+			}
+			if !reflect.DeepEqual(ref.Hot, prof.Hot) {
+				t.Errorf("stream=%v shards=%d: hot sets differ", stream, shards)
+			}
+			if !reflect.DeepEqual(ref.StreamsLCS, prof.StreamsLCS) ||
+				!reflect.DeepEqual(ref.StreamsSequitur, prof.StreamsSequitur) {
+				t.Errorf("stream=%v shards=%d: mined streams differ", stream, shards)
+			}
+			if prof.AnalysisShards != shards {
+				t.Errorf("stream=%v shards=%d: AnalysisShards = %d", stream, shards, prof.AnalysisShards)
+			}
+		}
+	}
+}
+
+// TestRunBenchmarkShardedIdentical runs the full comparison with and
+// without sharding: every reported number must match, because sharding
+// only changes how the profiling trace is analyzed, never what the
+// analysis says.
+func TestRunBenchmarkShardedIdentical(t *testing.T) {
+	ref, err := RunBenchmark("swissmap", fastOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpt()
+	opt.Shards = 4
+	sharded, err := RunBenchmark("swissmap", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Best != sharded.Best {
+		t.Errorf("best variant: single-pass %v, sharded %v", ref.Best, sharded.Best)
+	}
+	if !reflect.DeepEqual(ref.Baseline.Metrics, sharded.Baseline.Metrics) {
+		t.Error("baseline metrics differ under sharded analysis")
+	}
+	if !reflect.DeepEqual(ref.BestResult().Metrics, sharded.BestResult().Metrics) {
+		t.Error("best-variant metrics differ under sharded analysis")
+	}
+	if !reflect.DeepEqual(ref.Plans[ref.Best], sharded.Plans[sharded.Best]) {
+		t.Error("best plan differs under sharded analysis")
+	}
+}
+
+// TestShardedProfileObservability checks the wiring the -shards flag
+// depends on: with a perfstat collector attached the profile carries
+// the analyze stage's own host sample, and shard-stage progress events
+// arrive tagged with the benchmark name and the shard count.
+func TestShardedProfileObservability(t *testing.T) {
+	spec, err := workloads.Get("swissmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu     sync.Mutex
+		events []obs.JobEvent
+	)
+	opt := fastOpt()
+	opt.Shards = 3
+	opt.Perf = perfstat.New(nil)
+	opt.Progress = func(ev obs.JobEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	prof, err := CollectProfile(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.AnalysisHost == nil {
+		t.Fatal("AnalysisHost not recorded with Perf attached")
+	}
+	if prof.AnalysisHost.Phase != "analyze" || prof.AnalysisHost.Events == 0 {
+		t.Errorf("analysis sample = %+v", prof.AnalysisHost)
+	}
+	shardDone := 0
+	for _, ev := range events {
+		if ev.Shards == 0 {
+			continue
+		}
+		if ev.Shards != 3 {
+			t.Fatalf("shard event carries Shards=%d, want 3: %+v", ev.Shards, ev)
+		}
+		if ev.Benchmark != "swissmap" {
+			t.Fatalf("shard event missing benchmark name: %+v", ev)
+		}
+		if ev.Phase == "analyze-shard" && ev.State == obs.JobDone {
+			shardDone++
+		}
+	}
+	if shardDone != 3 {
+		t.Errorf("analyze-shard done events = %d, want 3", shardDone)
+	}
+}

@@ -20,12 +20,23 @@ import (
 //
 // Version 2 is the chunked stream container (see stream.go); it frames
 // the same event encoding into fixed-size chunks so it can be produced
-// and consumed incrementally. Read accepts both versions.
+// and consumed incrementally. Version 3 keeps the chunk framing and
+// additionally stamps every chunk frame with its encoded byte length and
+// the delta-decoder state at the chunk's first event, so chunks can be
+// located and decoded independently (the parallel analysis path in
+// shard.go). Read accepts all three versions.
 const (
 	magic          = "PFXT"
 	version        = 1
 	versionChunked = 2
+	versionIndexed = 3
 )
+
+// maxEventEncodedBytes bounds one encoded event: tag byte plus at most
+// four 10-byte varints (address delta, site/old-address, stack/new-
+// address, size). The stream reader uses it to reject chunk frames whose
+// declared byte length could not possibly hold the declared event count.
+const maxEventEncodedBytes = 1 + 4*binary.MaxVarintLen64
 
 // maxPreallocEvents caps how many Events Read preallocates from the
 // untrusted header count: a corrupt or hostile file can claim 2⁶⁴

@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; large-trace tests shrink their inputs under -race.
+const raceEnabled = true

@@ -1,0 +1,942 @@
+// Sharded parallel analysis: the multi-core counterpart of Analyzer.
+//
+// The reference analyzer (trace.go) is a single pass over the event
+// stream. The sharded path splits that pass two ways:
+//
+//   - Decode parallelism: version-3 containers stamp every chunk frame
+//     with its byte length and the delta-decoder handoff state, so a
+//     pool of workers can decode chunks independently (stream.go).
+//
+//   - Analysis parallelism: N ShardAnalyzers each scan every event.
+//     Allocation-metadata events (alloc/free/realloc — orders of
+//     magnitude rarer than accesses) are replicated: every shard runs
+//     the exact single-pass index algorithm over a private interval
+//     index, so each shard's view of address liveness — including
+//     address reuse, duplicate live base addresses, and objects whose
+//     malloc→realloc→free lifetime crosses any partition boundary — is
+//     identical to the single-pass analyzer's at every event.
+//     Access events, the hot bulk of the stream, are partitioned: the
+//     shard owning the address page (addr>>12 mod N) performs the
+//     containment lookup and records the hit, so the expensive per-
+//     access work is divided across shards rather than replicated.
+//     Object construction is partitioned separately by malloc site
+//     (site mod N), the paper's object identity axis.
+//
+// MergeAnalyses then reassembles the single-pass Analysis from the
+// partials: objects k-way merged by allocation event index (unique, so
+// the merge is deterministic and shard-count-invariant), IDs and
+// per-site instance numbers renumbered in that order, live-object peaks
+// reconstructed by an alloc/free sweep, and the reference string k-way
+// merged by event index. The result is reflect.DeepEqual-identical to
+// Analyze / AnalyzeSource at every shard count, which shard_test.go
+// enforces differentially.
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"prefix/internal/mem"
+	"prefix/internal/obs"
+	"prefix/internal/obs/perfstat"
+)
+
+// ShardConfig configures the sharded analysis path.
+type ShardConfig struct {
+	// Shards is the number of shard analyzers (and, for indexed
+	// streams, decode workers). Values below 1 select 1; 1 still runs
+	// the shard machinery but on a single worker, which the
+	// differential tests use as the degenerate case.
+	Shards int
+	// ChunkEvents is the batch granularity for inputs that do not carry
+	// their own chunk framing (in-memory traces, serially-decoded
+	// sources); values below 1 select DefaultChunkEvents.
+	ChunkEvents int
+	// Progress, when non-nil, receives one obs.JobEvent per state
+	// transition of every decode worker, shard worker, and the merge
+	// step (phases "analyze-decode", "analyze-shard", "analyze-merge";
+	// Job is the worker index, Jobs the pool size, Shards the configured
+	// shard count). Benchmark is left empty for the caller to fill.
+	// Must be safe for concurrent use.
+	Progress func(obs.JobEvent)
+	// Perf, when non-nil, brackets every decode worker, shard worker,
+	// and the merge with a perfstat scope so the host-cost table and the
+	// events/sec gate see the parallel analysis phases.
+	Perf *perfstat.Collector
+}
+
+func (cfg ShardConfig) shardCount() int {
+	if cfg.Shards < 1 {
+		return 1
+	}
+	return cfg.Shards
+}
+
+func (cfg ShardConfig) chunkEvents() int {
+	if cfg.ChunkEvents < 1 {
+		return DefaultChunkEvents
+	}
+	return cfg.ChunkEvents
+}
+
+func (cfg ShardConfig) progress(phase string, job, jobs int, state obs.JobState, err error) {
+	if cfg.Progress == nil {
+		return
+	}
+	ev := obs.JobEvent{
+		Phase:  phase,
+		Job:    job,
+		Jobs:   jobs,
+		Seed:   -1,
+		Shards: cfg.shardCount(),
+		State:  state,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	cfg.Progress(ev)
+}
+
+// shardIndex is the flat-array clone of intervalIndex: live address
+// intervals ordered by base address. Every shard indexes every live
+// interval (the index transitions must mirror the single-pass analyzer
+// exactly); the object pointer is non-nil only for intervals whose
+// site the shard owns, while allocAt — the allocation event index, the
+// globally unique object identity — is recorded for all of them so any
+// shard can attribute an access hit. The semantics — duplicate base
+// addresses replace in place, zero sizes clamp to one, containment is
+// [start, start+size) against the greatest start ≤ addr — mirror
+// intervalIndex exactly.
+type shardIndex struct {
+	starts  []uint64
+	sizes   []uint64
+	allocAt []int
+	objs    []*Object
+}
+
+// lowerBound returns the first position whose start is >= addr.
+func (x *shardIndex) lowerBound(addr uint64) int {
+	lo, hi := 0, len(x.starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x.starts[mid] < addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insert adds a live interval; obj is nil for foreign-site intervals,
+// allocAt is the allocating event's index for all of them.
+func (x *shardIndex) insert(addr uint64, size uint64, allocAt int, obj *Object) {
+	if size == 0 {
+		size = 1
+	}
+	i := x.lowerBound(addr)
+	if i < len(x.starts) && x.starts[i] == addr {
+		// Duplicate live base address: the newer allocation shadows the
+		// older, matching intervalIndex's map semantics.
+		x.sizes[i] = size
+		x.allocAt[i] = allocAt
+		x.objs[i] = obj
+		return
+	}
+	x.starts = append(x.starts, 0)
+	x.sizes = append(x.sizes, 0)
+	x.allocAt = append(x.allocAt, 0)
+	x.objs = append(x.objs, nil)
+	copy(x.starts[i+1:], x.starts[i:])
+	copy(x.sizes[i+1:], x.sizes[i:])
+	copy(x.allocAt[i+1:], x.allocAt[i:])
+	copy(x.objs[i+1:], x.objs[i:])
+	x.starts[i], x.sizes[i], x.allocAt[i], x.objs[i] = addr, size, allocAt, obj
+}
+
+// remove deletes the interval based exactly at addr. ok reports whether
+// an interval existed; the object is nil for foreign-site intervals,
+// and the caller needs all three results: a realloc must reinsert a
+// foreign interval (with its original allocAt) even though it cannot
+// record it, while a free of an unknown address must not touch the
+// index at all.
+func (x *shardIndex) remove(addr uint64) (obj *Object, allocAt int, ok bool) {
+	i := x.lowerBound(addr)
+	if i >= len(x.starts) || x.starts[i] != addr {
+		return nil, 0, false
+	}
+	obj, allocAt = x.objs[i], x.allocAt[i]
+	x.starts = append(x.starts[:i], x.starts[i+1:]...)
+	x.sizes = append(x.sizes[:i], x.sizes[i+1:]...)
+	x.allocAt = append(x.allocAt[:i], x.allocAt[i+1:]...)
+	x.objs = append(x.objs[:i], x.objs[i+1:]...)
+	return obj, allocAt, true
+}
+
+// find returns the index position of the live interval containing addr,
+// or -1 when the address is outside every live object.
+//
+//prefix:hotpath
+func (x *shardIndex) find(addr uint64) int {
+	lo, hi := 0, len(x.starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x.starts[mid] <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return -1
+	}
+	j := lo - 1
+	if addr-x.starts[j] < x.sizes[j] {
+		return j
+	}
+	return -1
+}
+
+// pageShift is the access-partition granularity: the shard owning
+// uint32(addr>>pageShift) % shards processes the access. Page
+// granularity keeps one object's accesses mostly on one shard (its
+// interval lookups stay cache-warm) while spreading the address space
+// evenly. Any deterministic address function partitions correctly —
+// every shard's index is identical, so any shard computes the same
+// containment answer; the partition only decides which shard does the
+// work.
+const pageShift = 12
+
+// refRec is one recorded access hit: the hit object's allocation event
+// index (its globally unique identity — ObjectIDs do not exist until
+// the merge), the access's own event index, and the write flag.
+// Counters are reconstructed from these records at merge time, one
+// increment per record, exactly as the single-pass analyzer performed
+// them.
+type refRec struct {
+	allocAt int
+	at      int
+	write   bool
+}
+
+// ShardAnalyzer is one shard's partial analyzer. It must be fed every
+// event of the trace in order (FeedBatch with the batch's global base
+// index). Allocation metadata is processed by every shard (keeping all
+// interval indexes identical); each access event is processed by
+// exactly one shard (by address page), and objects are constructed by
+// exactly one shard (by malloc site). Partials combine via
+// MergeAnalyses.
+type ShardAnalyzer struct {
+	shard  uint32
+	shards uint32
+	idx    shardIndex
+	// objs collects site-owned objects in allocation order; ID,
+	// Instance, and the access counters stay zero until MergeAnalyses
+	// fills them globally.
+	objs []*Object
+	// recs is this shard's slice of the reference string, ascending in
+	// trace order.
+	recs          []refRec
+	heapAccesses  uint64
+	totalAccesses uint64
+	events        int
+}
+
+// NewShardAnalyzer returns the analyzer for one shard of a pool of
+// shards. Panics on an out-of-range shard index — that is a caller bug,
+// not an input condition.
+func NewShardAnalyzer(shard, shards int) *ShardAnalyzer {
+	if shards < 1 {
+		shards = 1
+	}
+	if shard < 0 || shard >= shards {
+		panic("trace: shard index out of range")
+	}
+	return &ShardAnalyzer{shard: uint32(shard), shards: uint32(shards)}
+}
+
+// FeedBatch processes one batch of events whose first event has global
+// index base. Batches must arrive in trace order and cover the stream
+// without gaps.
+//
+//prefix:hotpath
+func (s *ShardAnalyzer) FeedBatch(evs []Event, base int) {
+	for j := range evs {
+		s.feed(&evs[j], base+j)
+	}
+	if n := base + len(evs); n > s.events {
+		s.events = n
+	}
+}
+
+// feed processes one event at global index i. Accesses — the hot kind
+// by orders of magnitude — are handled inline: non-owned pages return
+// after one shift-and-compare, owned pages do the containment lookup
+// and record the hit, allocation-free except for the amortized growth
+// of the analysis product itself.
+//
+//prefix:hotpath
+func (s *ShardAnalyzer) feed(ev *Event, i int) {
+	if ev.Kind == KindAccess {
+		addr := uint64(ev.Addr)
+		if s.shards > 1 && uint32(addr>>pageShift)%s.shards != s.shard {
+			return
+		}
+		s.totalAccesses++
+		j := s.idx.find(addr)
+		if j < 0 {
+			return
+		}
+		s.heapAccesses++
+		//lint:ignore hotalloc the reference string is the analysis product; append growth is amortized doubling over the whole trace
+		s.recs = append(s.recs, refRec{allocAt: s.idx.allocAt[j], at: i, write: ev.Write})
+		return
+	}
+	//lint:ignore hotcall allocation-metadata events are orders of magnitude rarer than accesses; the cold path owns index shifts and object construction
+	s.feedSlow(ev, i)
+}
+
+// feedSlow is the cold path: allocation-metadata events that mutate the
+// interval index. Every shard performs the identical index transitions
+// as the single-pass analyzer; site ownership only decides which shard
+// constructs and annotates the Object.
+func (s *ShardAnalyzer) feedSlow(ev *Event, i int) {
+	switch ev.Kind {
+	case KindAlloc:
+		var obj *Object
+		if uint32(ev.Site)%s.shards == s.shard {
+			obj = &Object{
+				Site:      ev.Site,
+				Stack:     ev.Stack,
+				Size:      ev.Size,
+				FinalSize: ev.Size,
+				Addr:      ev.Addr,
+				AllocAt:   i,
+				FreeAt:    -1,
+			}
+			s.objs = append(s.objs, obj)
+		}
+		s.idx.insert(uint64(ev.Addr), ev.Size, i, obj)
+	case KindFree:
+		if obj, _, ok := s.idx.remove(uint64(ev.Addr)); ok && obj != nil {
+			obj.FreeAt = i
+		}
+	case KindRealloc:
+		if obj, allocAt, ok := s.idx.remove(uint64(ev.Addr)); ok {
+			if obj != nil {
+				obj.FinalSize = ev.Size
+				obj.Addr = ev.Addr2
+			}
+			// Foreign intervals reinsert too (nil obj, original
+			// allocAt): the moved object stays live at its new address
+			// in every shard's index, exactly as in the single-pass
+			// analyzer.
+			s.idx.insert(uint64(ev.Addr2), ev.Size, allocAt, obj)
+		}
+	}
+}
+
+// MergeAnalyses combines per-shard partials — all fed the identical
+// full event stream — into the single-pass Analysis. The merge is
+// deterministic and shard-count-invariant because every ordering key is
+// a globally-unique event index: objects merge by AllocAt, references
+// by RefAt, and the live-object peaks replay the alloc/free sequence
+// those indexes define.
+func MergeAnalyses(parts []*ShardAnalyzer, instr uint64) *Analysis {
+	a := &Analysis{
+		SiteAllocs:  make(map[mem.SiteID]uint64),
+		SiteObjects: make(map[mem.SiteID][]mem.ObjectID),
+		SiteMaxLive: make(map[mem.SiteID]uint64),
+		Instr:       instr,
+	}
+	if len(parts) == 0 {
+		return a
+	}
+	totalObjs, totalRefs := 0, 0
+	for _, p := range parts {
+		totalObjs += len(p.objs)
+		totalRefs += len(p.recs)
+		a.HeapAccesses += p.heapAccesses
+		// Accesses partition exactly one-to-one across shards, so the
+		// totals sum.
+		a.TotalAccesses += p.totalAccesses
+		if p.events > a.Events {
+			a.Events = p.events
+		}
+	}
+
+	// Objects: k-way merge by allocation event index (each partial is
+	// already AllocAt-ascending), renumbering IDs and per-site instance
+	// counters in merged order — the order the single-pass analyzer
+	// allocated them in.
+	if totalObjs > 0 {
+		a.Objects = make([]*Object, 0, totalObjs)
+		cur := make([]int, len(parts))
+		for len(a.Objects) < totalObjs {
+			best := -1
+			bestAt := int(^uint(0) >> 1)
+			for p := range parts {
+				if c := cur[p]; c < len(parts[p].objs) && parts[p].objs[c].AllocAt < bestAt {
+					best, bestAt = p, parts[p].objs[c].AllocAt
+				}
+			}
+			obj := parts[best].objs[cur[best]]
+			cur[best]++
+			obj.ID = mem.ObjectID(len(a.Objects) + 1)
+			a.Objects = append(a.Objects, obj)
+			a.SiteAllocs[obj.Site]++
+			obj.Instance = mem.Instance(a.SiteAllocs[obj.Site])
+			a.SiteObjects[obj.Site] = append(a.SiteObjects[obj.Site], obj.ID)
+		}
+	}
+
+	// Live-object peaks: replay the merged alloc/free timeline. FreeAt
+	// was recorded exactly when the single-pass analyzer's remove
+	// matched a live interval, so (+1 at AllocAt, -1 at FreeAt) with
+	// the maximum taken after each alloc reproduces its live counters.
+	type freeMark struct {
+		at   int
+		site mem.SiteID
+	}
+	frees := make([]freeMark, 0, len(a.Objects))
+	for _, obj := range a.Objects {
+		if obj.FreeAt >= 0 {
+			frees = append(frees, freeMark{obj.FreeAt, obj.Site})
+		}
+	}
+	sort.Slice(frees, func(i, j int) bool { return frees[i].at < frees[j].at })
+	var live uint64
+	siteLive := make(map[mem.SiteID]uint64)
+	fi := 0
+	for _, obj := range a.Objects {
+		for fi < len(frees) && frees[fi].at < obj.AllocAt {
+			live--
+			siteLive[frees[fi].site]--
+			fi++
+		}
+		live++
+		siteLive[obj.Site]++
+		if live > a.MaxLive {
+			a.MaxLive = live
+		}
+		if siteLive[obj.Site] > a.SiteMaxLive[obj.Site] {
+			a.SiteMaxLive[obj.Site] = siteLive[obj.Site]
+		}
+	}
+
+	// Reference string: k-way merge by event index, resolving each
+	// record's allocAt to the now-renumbered object and replaying its
+	// counter increment — the same one-increment-per-hit the
+	// single-pass analyzer performed inline.
+	if totalRefs > 0 {
+		a.Refs = make([]mem.ObjectID, totalRefs)
+		a.RefAt = make([]int, totalRefs)
+		cur := make([]int, len(parts))
+		memo := make([]*Object, len(parts))
+		mergeRefs(parts, cur, memo, a.Objects, a.Refs, a.RefAt)
+	}
+	return a
+}
+
+// mergeRefs merges the partials' reference strings by event index into
+// the caller-allocated refs/refAt (sized to the exact total), crediting
+// each hit to its object. Each partial's record stream is strictly
+// ascending in event index and an event index appears in at most one
+// partial, so a linear min-scan over the cursors is a deterministic
+// total order. objs is sorted by AllocAt (allocation order), so a
+// record's object resolves by binary search; memo caches each partial's
+// last object because consecutive hits overwhelmingly repeat it.
+//
+//prefix:hotpath
+func mergeRefs(parts []*ShardAnalyzer, cur []int, memo []*Object, objs []*Object, refs []mem.ObjectID, refAt []int) {
+	for k := range refs {
+		best := -1
+		bestAt := int(^uint(0) >> 1)
+		for p := range parts {
+			if c := cur[p]; c < len(parts[p].recs) && parts[p].recs[c].at < bestAt {
+				best, bestAt = p, parts[p].recs[c].at
+			}
+		}
+		rec := &parts[best].recs[cur[best]]
+		cur[best]++
+		o := memo[best]
+		if o == nil || o.AllocAt != rec.allocAt {
+			lo, hi := 0, len(objs)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if objs[mid].AllocAt < rec.allocAt {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			o = objs[lo]
+			memo[best] = o
+		}
+		o.Accesses++
+		if rec.write {
+			o.Writes++
+		} else {
+			o.Reads++
+		}
+		refs[k] = o.ID
+		refAt[k] = bestAt
+	}
+}
+
+// shardBatch is one ordered slice of decoded events broadcast to every
+// shard. Pooled batches (pool non-nil) return to the pool when the last
+// shard releases its reference.
+type shardBatch struct {
+	evs  []Event
+	base int
+	refs atomic.Int32
+	pool *sync.Pool
+}
+
+// batchPool recycles shardBatches between decode and shard workers.
+type batchPool struct {
+	pool sync.Pool
+}
+
+func newBatchPool(capEvents int) *batchPool {
+	p := &batchPool{}
+	p.pool.New = func() any {
+		return &shardBatch{evs: make([]Event, 0, capEvents)}
+	}
+	return p
+}
+
+func (p *batchPool) get() *shardBatch {
+	b := p.pool.Get().(*shardBatch)
+	b.evs = b.evs[:0]
+	b.base = 0
+	b.pool = &p.pool
+	return b
+}
+
+// shardQueueDepth bounds each shard's input queue; with the batch pool
+// it also bounds how many decoded batches exist at once.
+const shardQueueDepth = 2
+
+// shardRun owns one sharded analysis: the shard workers, their input
+// channels, and the first-error/stop machinery shared with the decode
+// stage.
+type shardRun struct {
+	cfg   ShardConfig
+	parts []*ShardAnalyzer
+	chans []chan *shardBatch
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	once  sync.Once
+	err   error
+}
+
+func newShardRun(cfg ShardConfig) *shardRun {
+	n := cfg.shardCount()
+	r := &shardRun{
+		cfg:   cfg,
+		parts: make([]*ShardAnalyzer, n),
+		chans: make([]chan *shardBatch, n),
+		stop:  make(chan struct{}),
+	}
+	for k := 0; k < n; k++ {
+		r.parts[k] = NewShardAnalyzer(k, n)
+		r.chans[k] = make(chan *shardBatch, shardQueueDepth)
+		r.wg.Add(1)
+		go r.shardWorker(k)
+	}
+	return r
+}
+
+// fail records the first error and unblocks every stage.
+func (r *shardRun) fail(err error) {
+	r.once.Do(func() {
+		r.err = err
+		close(r.stop)
+	})
+}
+
+// emit broadcasts one ordered batch to every shard. The caller must not
+// touch the batch afterward. Returns false once the run has failed.
+func (r *shardRun) emit(b *shardBatch) bool {
+	b.refs.Store(int32(len(r.chans)))
+	for _, ch := range r.chans {
+		select {
+		case ch <- b:
+		case <-r.stop:
+			return false
+		}
+	}
+	return true
+}
+
+// finish closes the shard inputs; call exactly once, after the last
+// emit.
+func (r *shardRun) finish() {
+	for _, ch := range r.chans {
+		close(ch)
+	}
+}
+
+// wait blocks until every shard worker has drained and returns the
+// run's first error.
+func (r *shardRun) wait() error {
+	r.wg.Wait()
+	return r.err
+}
+
+func (r *shardRun) shardWorker(k int) {
+	defer r.wg.Done()
+	sc := r.cfg.Perf.Begin("analyze-shard")
+	defer sc.End()
+	r.cfg.progress("analyze-shard", k, len(r.parts), obs.JobRunning, nil)
+	for {
+		select {
+		case b, ok := <-r.chans[k]:
+			if !ok {
+				r.cfg.progress("analyze-shard", k, len(r.parts), obs.JobDone, nil)
+				return
+			}
+			r.parts[k].FeedBatch(b.evs, b.base)
+			sc.AddEvents(uint64(len(b.evs)))
+			if b.pool != nil && b.refs.Add(-1) == 0 {
+				b.pool.Put(b)
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// merge runs the final merge step under its own perfstat scope and
+// progress events.
+func (r *shardRun) merge(instr uint64) *Analysis {
+	sc := r.cfg.Perf.Begin("analyze-merge")
+	r.cfg.progress("analyze-merge", 0, 1, obs.JobRunning, nil)
+	a := MergeAnalyses(r.parts, instr)
+	sc.AddEvents(uint64(a.Events))
+	sc.End()
+	r.cfg.progress("analyze-merge", 0, 1, obs.JobDone, nil)
+	return a
+}
+
+// AnalyzeTraceSharded analyzes an in-memory trace on cfg.Shards
+// parallel shard analyzers. The result is reflect.DeepEqual-identical
+// to Analyze(t) at every shard count. Nothing on the in-memory path can
+// fail, so there is no error return.
+func AnalyzeTraceSharded(t *Trace, cfg ShardConfig) *Analysis {
+	r := newShardRun(cfg)
+	chunk := cfg.chunkEvents()
+	for base := 0; base < len(t.Events); base += chunk {
+		end := min(base+chunk, len(t.Events))
+		if !r.emit(&shardBatch{evs: t.Events[base:end], base: base}) {
+			break
+		}
+	}
+	r.finish()
+	_ = r.wait() // no failure sources feed this path
+	return r.merge(t.Instr)
+}
+
+// AnalyzeSourceSharded drains src on a single decode cursor but feeds
+// the events through the parallel shard set — the fallback for sources
+// without independently-decodable chunks. The result matches
+// AnalyzeSource(src) exactly.
+func AnalyzeSourceSharded(src Source, cfg ShardConfig) (*Analysis, error) {
+	r := newShardRun(cfg)
+	pool := newBatchPool(cfg.chunkEvents())
+	sc := cfg.Perf.Begin("analyze-decode")
+	cfg.progress("analyze-decode", 0, 1, obs.JobRunning, nil)
+	base := 0
+	for {
+		b := pool.get()
+		for len(b.evs) < cap(b.evs) {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			b.evs = append(b.evs, ev)
+		}
+		n := len(b.evs)
+		if n == 0 {
+			break
+		}
+		b.base = base
+		base += n
+		if !r.emit(b) || n < cap(b.evs) {
+			break
+		}
+	}
+	sc.AddEvents(uint64(base))
+	sc.End()
+	r.finish()
+	if err := src.Err(); err != nil {
+		cfg.progress("analyze-decode", 0, 1, obs.JobFailed, err)
+		_ = r.wait()
+		return nil, err
+	}
+	cfg.progress("analyze-decode", 0, 1, obs.JobDone, nil)
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	return r.merge(src.Instr()), nil
+}
+
+// AnalyzeStreamSharded analyzes a serialized trace container with the
+// sharded path. Version-3 (indexed) containers decode their chunks on a
+// parallel worker pool; version-1/2 containers fall back to a serial
+// decode cursor feeding the same parallel shard set. The result matches
+// the single-pass AnalyzeSource over the same bytes at every shard
+// count.
+func AnalyzeStreamSharded(rd io.Reader, cfg ShardConfig) (*Analysis, error) {
+	br := bufio.NewReader(rd)
+	ver, err := readContainerHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if ver == versionIndexed {
+		return analyzeIndexedSharded(br, cfg)
+	}
+	sr, err := newStreamReader(br, ver)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeSourceSharded(sr, cfg)
+}
+
+// chunkFrame is one encoded chunk sliced out of an indexed stream: the
+// frame header fields plus the raw payload bytes, ready for any decode
+// worker.
+type chunkFrame struct {
+	idx   int
+	n     int
+	state [5]uint64
+	data  []byte
+	base  int
+}
+
+// decodedChunk pairs a decoded batch with its chunk index for the
+// sequencer.
+type decodedChunk struct {
+	idx int
+	b   *shardBatch
+}
+
+// analyzeIndexedSharded is the fully parallel path over a version-3
+// container: a scanner slices chunk frames off the stream sequentially
+// (cheap — header varints plus one bulk read per chunk), a pool of
+// workers decodes frames concurrently seeded with each frame's recorded
+// delta-decoder handoff, and a sequencer reorders decoded batches by
+// chunk index before broadcasting them to the shard set, preserving the
+// exact single-pass event order.
+func analyzeIndexedSharded(br *bufio.Reader, cfg ShardConfig) (*Analysis, error) {
+	chunkSize, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if chunkSize == 0 {
+		return nil, errors.New("trace: chunked stream declares zero chunk size")
+	}
+	workers := cfg.shardCount()
+	r := newShardRun(cfg)
+	// The batch prealloc is bounded against hostile chunkSize claims;
+	// real chunks grow batches to their true event count, which is then
+	// retained by the pool.
+	pool := newBatchPool(int(min(chunkSize, maxPreallocEvents)))
+	var bufPool sync.Pool // *[]byte payload staging buffers
+	frames := make(chan chunkFrame, workers)
+	decoded := make(chan decodedChunk, workers)
+	var instr uint64
+
+	// Scanner: sequential frame slicing. On any error it fails the run,
+	// which unblocks every other stage.
+	go func() {
+		defer close(frames)
+		idx, base := 0, 0
+		for {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				r.fail(fmt.Errorf("trace: chunk %d header: %w", idx, err))
+				return
+			}
+			if n == 0 {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					r.fail(fmt.Errorf("trace: stream terminator: %w", err))
+					return
+				}
+				instr = v
+				return
+			}
+			if n > chunkSize {
+				r.fail(fmt.Errorf("trace: chunk %d claims %d events, above the declared chunk size %d", idx, n, chunkSize))
+				return
+			}
+			byteLen, err := binary.ReadUvarint(br)
+			if err != nil {
+				r.fail(fmt.Errorf("trace: chunk %d byte length: %w", idx, err))
+				return
+			}
+			// Division form so a hostile (n, byteLen) pair cannot
+			// overflow the product; the bound is a rejection filter,
+			// not an exact fit.
+			if byteLen == 0 || byteLen/maxEventEncodedBytes > n {
+				r.fail(fmt.Errorf("trace: chunk %d claims %d bytes for %d events", idx, byteLen, n))
+				return
+			}
+			var state [5]uint64
+			for kind := KindAlloc; kind <= KindAccess; kind++ {
+				if state[kind], err = binary.ReadUvarint(br); err != nil {
+					r.fail(fmt.Errorf("trace: chunk %d handoff: %w", idx, err))
+					return
+				}
+			}
+			data, err := readChunkPayload(br, &bufPool, byteLen)
+			if err != nil {
+				r.fail(fmt.Errorf("trace: chunk %d payload: %w", idx, err))
+				return
+			}
+			select {
+			case frames <- chunkFrame{idx: idx, n: int(n), state: state, data: data, base: base}:
+			case <-r.stop:
+				return
+			}
+			idx++
+			base += int(n)
+		}
+	}()
+
+	// Decode workers: each owns its own decoder cursor, seeded per
+	// frame with the recorded handoff state.
+	var dwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		dwg.Add(1)
+		go func(w int) {
+			defer dwg.Done()
+			sc := cfg.Perf.Begin("analyze-decode")
+			defer sc.End()
+			cfg.progress("analyze-decode", w, workers, obs.JobRunning, nil)
+			var rd bytes.Reader
+			dbr := bufio.NewReader(nil)
+			var dec eventDecoder
+			dec.br = dbr
+			for f := range frames {
+				rd.Reset(f.data)
+				dbr.Reset(&rd)
+				dec.prevAddr = f.state
+				b := pool.get()
+				b.base = f.base
+				var derr error
+				for j := 0; j < f.n; j++ {
+					ev, err := dec.decode(uint64(f.base + j))
+					if err != nil {
+						derr = err
+						break
+					}
+					b.evs = append(b.evs, ev)
+				}
+				if derr == nil {
+					if rem := dbr.Buffered() + rd.Len(); rem > 0 {
+						derr = fmt.Errorf("trace: chunk %d: %d trailing bytes after %d events", f.idx, rem, f.n)
+					}
+				}
+				putBuf(&bufPool, f.data)
+				if derr != nil {
+					r.fail(derr)
+					cfg.progress("analyze-decode", w, workers, obs.JobFailed, derr)
+					return
+				}
+				sc.AddEvents(uint64(len(b.evs)))
+				select {
+				case decoded <- decodedChunk{idx: f.idx, b: b}:
+				case <-r.stop:
+					return
+				}
+			}
+			cfg.progress("analyze-decode", w, workers, obs.JobDone, nil)
+		}(w)
+	}
+	go func() {
+		dwg.Wait()
+		close(decoded)
+	}()
+
+	// Sequencer (this goroutine): restore chunk order before
+	// broadcasting, so every shard sees the exact single-pass event
+	// sequence.
+	pending := make(map[int]*shardBatch)
+	next := 0
+	dead := false
+	for dc := range decoded {
+		if dead {
+			continue
+		}
+		pending[dc.idx] = dc.b
+		for {
+			b, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if !r.emit(b) {
+				dead = true
+				break
+			}
+			next++
+		}
+	}
+	r.finish()
+	if err := r.wait(); err != nil {
+		return nil, err
+	}
+	return r.merge(instr), nil
+}
+
+// getBuf returns a staging buffer of exactly n bytes, reusing pooled
+// capacity when possible.
+func getBuf(pool *sync.Pool, n int) []byte {
+	if v, ok := pool.Get().(*[]byte); ok && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]byte, n)
+}
+
+func putBuf(pool *sync.Pool, buf []byte) {
+	pool.Put(&buf)
+}
+
+// maxStagingStep bounds how much staging buffer grows per read: a
+// hostile frame claiming a huge byte length only ever allocates one
+// step before ReadFull hits the real end of the file.
+const maxStagingStep = 1 << 20
+
+// readChunkPayload reads exactly n payload bytes, growing the staging
+// buffer incrementally so the allocation tracks bytes actually present
+// in the stream rather than the untrusted declared length.
+func readChunkPayload(br *bufio.Reader, pool *sync.Pool, n uint64) ([]byte, error) {
+	if n <= maxStagingStep {
+		buf := getBuf(pool, int(n))
+		_, err := io.ReadFull(br, buf)
+		return buf, err
+	}
+	buf := getBuf(pool, maxStagingStep)[:0]
+	for rem := n; rem > 0; {
+		step := int(min(rem, maxStagingStep))
+		old := len(buf)
+		buf = slices.Grow(buf, step)[:old+step]
+		if _, err := io.ReadFull(br, buf[old:]); err != nil {
+			return nil, err
+		}
+		rem -= uint64(step)
+	}
+	return buf, nil
+}

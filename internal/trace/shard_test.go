@@ -1,0 +1,541 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"prefix/internal/mem"
+	"prefix/internal/obs"
+	"prefix/internal/xrand"
+)
+
+// shardCounts is the differential matrix from the issue: 1 is the
+// degenerate single-shard case, 2/3 split the site space unevenly, 8
+// exceeds the distinct-site count of most fixtures.
+var shardCounts = []int{1, 2, 3, 8}
+
+// requireDeepEqual diffs two analyses field by field before the final
+// DeepEqual, so a mismatch names the diverging field instead of just
+// "not equal".
+func requireDeepEqual(t *testing.T, label string, want, got *Analysis) {
+	t.Helper()
+	if got.Events != want.Events {
+		t.Fatalf("%s: Events = %d, want %d", label, got.Events, want.Events)
+	}
+	if len(got.Objects) != len(want.Objects) {
+		t.Fatalf("%s: Objects = %d, want %d", label, len(got.Objects), len(want.Objects))
+	}
+	for i := range want.Objects {
+		if !reflect.DeepEqual(got.Objects[i], want.Objects[i]) {
+			t.Fatalf("%s: object %d = %+v, want %+v", label, i+1, *got.Objects[i], *want.Objects[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Refs, want.Refs) {
+		t.Fatalf("%s: Refs diverge (len %d vs %d)", label, len(got.Refs), len(want.Refs))
+	}
+	if !reflect.DeepEqual(got.RefAt, want.RefAt) {
+		t.Fatalf("%s: RefAt diverges", label)
+	}
+	if got.MaxLive != want.MaxLive || !reflect.DeepEqual(got.SiteMaxLive, want.SiteMaxLive) {
+		t.Fatalf("%s: live peaks diverge: MaxLive %d vs %d, SiteMaxLive %v vs %v",
+			label, got.MaxLive, want.MaxLive, got.SiteMaxLive, want.SiteMaxLive)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: analyses diverge", label)
+	}
+}
+
+// diffSharded checks the full differential matrix for one trace: the
+// in-memory sharded path and the streamed sharded path (several chunk
+// sizes) against the single-pass analyzers.
+func diffSharded(t *testing.T, tr *Trace) {
+	t.Helper()
+	want := Analyze(tr)
+	for _, n := range shardCounts {
+		got := AnalyzeTraceSharded(tr, ShardConfig{Shards: n, ChunkEvents: 5})
+		requireDeepEqual(t, "mem shards="+itoa(n), want, got)
+	}
+	for _, chunk := range []int{1, 3, 64} {
+		data := writeChunked(t, tr, chunk)
+		sr, err := NewStreamReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantStream, err := AnalyzeSource(sr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireDeepEqual(t, "stream single-pass chunk="+itoa(chunk), want, wantStream)
+		for _, n := range shardCounts {
+			got, err := AnalyzeStreamSharded(bytes.NewReader(data), ShardConfig{Shards: n})
+			if err != nil {
+				t.Fatalf("stream shards=%d chunk=%d: %v", n, chunk, err)
+			}
+			requireDeepEqual(t, "stream shards="+itoa(n)+" chunk="+itoa(chunk), want, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestShardedMatchesSinglePassRecorded(t *testing.T) {
+	diffSharded(t, record())
+}
+
+func TestShardedMatchesSinglePassEmpty(t *testing.T) {
+	r := NewRecorder()
+	r.AddInstr(77)
+	diffSharded(t, r.Trace())
+}
+
+// adversarialTrace builds the straddle fixture from the issue: object
+// lifetimes engineered to cross any naive partition boundary — reallocs
+// that move an object into another site's address territory, duplicate
+// live base addresses where the newer allocation shadows the older, a
+// realloc landing exactly on a foreign object's base, and metadata
+// events for addresses the heap never allocated.
+func adversarialTrace() *Trace {
+	r := NewRecorder()
+
+	// obj1 (site 1) and obj2 (site 2) land in different shards at every
+	// shard count > 1.
+	r.Alloc(1, 0xa1, 0x1000, 64)
+	r.Alloc(2, 0xb2, 0x2000, 64)
+	r.Access(0x1010, 8, false) // obj1 interior
+	r.Access(0x2020, 8, true)  // obj2 interior
+
+	// obj1's lifetime straddles the address partition: realloc moves it
+	// right next to obj2's territory, then it is accessed and freed at
+	// the new address. Every shard must keep tracking the moved
+	// interval or its later finds diverge.
+	r.Realloc(0x1000, 0x2100, 32)
+	r.Access(0x2110, 8, false) // obj1 after the move
+	r.Access(0x1010, 8, false) // old address: heap miss now
+	r.Free(0x2100)
+
+	// Duplicate live base address: obj3 (site 3) is shadowed by obj4
+	// (site 4) at the same base. Accesses attribute to the newer
+	// object; the one free removes the one interval, so the address
+	// then misses even though obj3 was never freed.
+	r.Alloc(3, 0xc3, 0x5000, 48)
+	r.Access(0x5008, 8, false) // obj3
+	r.Alloc(4, 0xd4, 0x5000, 16)
+	r.Access(0x5008, 8, true) // obj4 shadows obj3
+	r.Free(0x5000)
+	r.Access(0x5008, 8, false) // miss: the interval is gone
+
+	// Realloc landing exactly on a foreign live base: obj6 (site 6)
+	// moves onto obj5's (site 5) base address and replaces its
+	// interval.
+	r.Alloc(5, 0xe5, 0x7000, 64)
+	r.Alloc(6, 0xf6, 0x8000, 64)
+	r.Realloc(0x8000, 0x7000, 24)
+	r.Access(0x7004, 8, false) // obj6 now owns the base
+	r.Free(0x7000)
+
+	// Metadata events for addresses the heap never allocated: both are
+	// no-ops in the single-pass analyzer and must stay no-ops in every
+	// shard.
+	r.Free(0x9999)
+	r.Realloc(0xaaaa, 0xbbbb, 8)
+	r.Access(0xbbbb, 8, false) // still a miss
+
+	// Zero-size allocation clamps to a one-byte interval.
+	r.Alloc(7, 0x17, 0xc000, 0)
+	r.Access(0xc000, 1, false)
+
+	// A second instance for site 1 keeps per-site instance numbering in
+	// play after the straddles.
+	r.Alloc(1, 0xa1, 0xd000, 64)
+	r.Access(0xd03f, 8, true) // last byte of obj8
+
+	r.AddInstr(4321)
+	return r.Trace()
+}
+
+func TestShardedAdversarialStraddle(t *testing.T) {
+	diffSharded(t, adversarialTrace())
+}
+
+// TestShardedMatchesSinglePassRandom fuzzes the differential with
+// deterministic random traces heavy on realloc churn and address reuse.
+func TestShardedMatchesSinglePassRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := xrand.New(seed)
+		r := NewRecorder()
+		var live []mem.Addr
+		addr := mem.Addr(0x1000)
+		for i := 0; i < 2000; i++ {
+			switch rng.Intn(10) {
+			case 0, 1:
+				r.Alloc(mem.SiteID(rng.Intn(9)+1), mem.StackSig(rng.Uint64()), addr, rng.Uint64n(256))
+				live = append(live, addr)
+				addr += 0x40
+			case 2:
+				if len(live) > 0 {
+					k := rng.Intn(len(live))
+					r.Free(live[k])
+					live = append(live[:k], live[k+1:]...)
+				}
+			case 3:
+				if len(live) > 0 {
+					k := rng.Intn(len(live))
+					r.Realloc(live[k], addr, rng.Uint64n(512))
+					live[k] = addr
+					addr += 0x40
+				}
+			case 4:
+				// Shadowing alloc on a live base address.
+				if len(live) > 0 {
+					base := live[rng.Intn(len(live))]
+					r.Alloc(mem.SiteID(rng.Intn(9)+1), mem.StackSig(rng.Uint64()), base, rng.Uint64n(64))
+				}
+			default:
+				r.Access(mem.Addr(rng.Uint64n(uint64(addr))), 8, rng.Bool(0.5))
+			}
+		}
+		r.AddInstr(rng.Uint64n(1 << 20))
+		diffSharded(t, r.Trace())
+	}
+}
+
+// TestShardedConcurrentWorkers drives the full parallel machinery —
+// indexed decode pool, shard fan-out, merge — over a larger trace with
+// more shards than cores. Run under -race via `make check`, this is the
+// data-race gate for the shard workers.
+func TestShardedConcurrentWorkers(t *testing.T) {
+	rng := xrand.New(42)
+	r := NewRecorder()
+	addr := mem.Addr(0x1000)
+	var live []mem.Addr
+	for i := 0; i < 60_000; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			r.Alloc(mem.SiteID(rng.Intn(17)+1), mem.StackSig(rng.Uint64()), addr, 64+rng.Uint64n(64))
+			live = append(live, addr)
+			addr += 0x80
+		case 1:
+			if len(live) > 1 {
+				k := rng.Intn(len(live))
+				r.Free(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+		case 2:
+			if len(live) > 0 {
+				k := rng.Intn(len(live))
+				r.Realloc(live[k], addr, 32+rng.Uint64n(96))
+				live[k] = addr
+				addr += 0x80
+			}
+		default:
+			if len(live) > 0 {
+				base := live[rng.Intn(len(live))]
+				r.Access(base+mem.Addr(rng.Uint64n(32)), 8, rng.Bool(0.3))
+			}
+		}
+	}
+	r.AddInstr(99)
+	tr := r.Trace()
+	want := Analyze(tr)
+
+	got := AnalyzeTraceSharded(tr, ShardConfig{Shards: 8, ChunkEvents: 1024})
+	requireDeepEqual(t, "mem shards=8", want, got)
+
+	data := writeChunked(t, tr, 2048)
+	gotStream, err := AnalyzeStreamSharded(bytes.NewReader(data), ShardConfig{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDeepEqual(t, "stream shards=8", want, gotStream)
+}
+
+// TestShardedStreamClassicFallback routes a version-1 container (no
+// chunk framing) through the sharded entry point: serial decode, same
+// parallel shard set, same answer.
+func TestShardedStreamClassicFallback(t *testing.T) {
+	tr := record()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := Analyze(tr)
+	got, err := AnalyzeStreamSharded(bytes.NewReader(buf.Bytes()), ShardConfig{Shards: 4, ChunkEvents: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDeepEqual(t, "v1 fallback shards=4", want, got)
+}
+
+// TestShardedStreamTruncatedErrors cuts a valid indexed stream at
+// several offsets; every cut must surface a decode error (and must not
+// deadlock the worker pipeline).
+func TestShardedStreamTruncatedErrors(t *testing.T) {
+	data := writeChunked(t, record(), 4)
+	for _, cut := range []int{5, len(data) / 2, len(data) - 1} {
+		if _, err := AnalyzeStreamSharded(bytes.NewReader(data[:cut]), ShardConfig{Shards: 4}); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+// TestShardedStreamTrailingChunkBytesRejected hand-builds an indexed
+// frame whose declared event count undershoots its payload; the decode
+// worker must reject the leftover bytes rather than silently dropping
+// events.
+func TestShardedStreamTrailingChunkBytesRejected(t *testing.T) {
+	var payload bytes.Buffer
+	enc := eventEncoder{w: &payload}
+	for _, ev := range record().Events[:2] {
+		if err := enc.encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	for _, v := range []uint64{versionIndexed, 16, 1, uint64(payload.Len()), 0, 0, 0, 0} {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	buf.Write(payload.Bytes())
+	buf.WriteByte(0) // terminator
+	buf.WriteByte(0) // instr
+	if _, err := AnalyzeStreamSharded(bytes.NewReader(buf.Bytes()), ShardConfig{Shards: 2}); err == nil {
+		t.Fatal("frame with trailing payload bytes accepted")
+	}
+}
+
+// TestStreamHandoffMismatchRejected corrupts the recorded decoder
+// handoff of a second chunk; the serial reader cross-checks it against
+// its own running state and must fail.
+func TestStreamHandoffMismatchRejected(t *testing.T) {
+	data := writeChunked(t, record(), 4) // 12 events -> 3 chunks
+	// Walk to the second chunk frame: header = magic + version +
+	// chunkSize, then frame 1 = n | byteLen | 4 handoff varints |
+	// payload.
+	br := bytes.NewReader(data)
+	head := make([]byte, len(magic))
+	if _, err := br.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // version
+		t.Fatal(err)
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // chunkSize
+		t.Fatal(err)
+	}
+	n, err := binary.ReadUvarint(br) // frame 1 event count
+	if err != nil || n != 4 {
+		t.Fatalf("frame 1 count = %d, %v", n, err)
+	}
+	byteLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := binary.ReadUvarint(br); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// br now sits at frame 1's payload; frame 2's first handoff varint
+	// lives right after payload + count + byteLen varints.
+	off := len(data) - br.Len() + int(byteLen)
+	rest := bytes.NewReader(data[off:])
+	if _, err := binary.ReadUvarint(rest); err != nil { // frame 2 count
+		t.Fatal(err)
+	}
+	if _, err := binary.ReadUvarint(rest); err != nil { // frame 2 byteLen
+		t.Fatal(err)
+	}
+	handoffOff := off + (len(data) - off - rest.Len())
+	corrupt := append([]byte(nil), data...)
+	corrupt[handoffOff] ^= 0x01 // flip the low bit of prevAddr[Alloc]
+
+	sr, err := NewStreamReader(bytes.NewReader(corrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeSource(sr); err == nil {
+		t.Fatal("serial reader accepted a corrupted chunk handoff")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("handoff")) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestShardedProgressEvents verifies the obs wiring: per-shard and
+// merge JobEvents with the Shards marker set and the seed field
+// disabled.
+func TestShardedProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []obs.JobEvent
+	cfg := ShardConfig{
+		Shards:      3,
+		ChunkEvents: 4,
+		Progress: func(ev obs.JobEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	}
+	data := writeChunked(t, record(), 4)
+	if _, err := AnalyzeStreamSharded(bytes.NewReader(data), cfg); err != nil {
+		t.Fatal(err)
+	}
+	done := map[string]int{}
+	for _, ev := range events {
+		if ev.Shards != 3 {
+			t.Fatalf("event %+v missing Shards marker", ev)
+		}
+		if ev.Seed != -1 {
+			t.Fatalf("event %+v should disable the seed field", ev)
+		}
+		if ev.State == obs.JobDone {
+			done[ev.Phase]++
+		}
+		if ev.State == obs.JobFailed {
+			t.Fatalf("unexpected failed event: %+v", ev)
+		}
+	}
+	if done["analyze-shard"] != 3 {
+		t.Errorf("analyze-shard done events = %d, want 3", done["analyze-shard"])
+	}
+	if done["analyze-decode"] != 3 {
+		t.Errorf("analyze-decode done events = %d, want 3", done["analyze-decode"])
+	}
+	if done["analyze-merge"] != 1 {
+		t.Errorf("analyze-merge done events = %d, want 1", done["analyze-merge"])
+	}
+}
+
+func TestMergeAnalysesEmpty(t *testing.T) {
+	a := MergeAnalyses(nil, 55)
+	if a.Instr != 55 || a.Events != 0 || len(a.Objects) != 0 {
+		t.Fatalf("empty merge = %+v", a)
+	}
+	if a.SiteAllocs == nil || a.SiteObjects == nil || a.SiteMaxLive == nil {
+		t.Fatal("empty merge must keep maps non-nil, matching NewAnalyzer")
+	}
+}
+
+// TestShardFeedZeroAlloc is the lint satellite's runtime counterpart:
+// once the reference-string slices have grown their capacity, the shard
+// feed loop performs zero allocations per access event.
+func TestShardFeedZeroAlloc(t *testing.T) {
+	s := NewShardAnalyzer(0, 1)
+	s.FeedBatch([]Event{{Kind: KindAlloc, Site: 1, Addr: 0x1000, Size: 4096}}, 0)
+	batch := make([]Event, 4096)
+	for i := range batch {
+		batch[i] = Event{Kind: KindAccess, Addr: mem.Addr(0x1000 + uint64(i%4096)), Size: 8, Write: i%2 == 0}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		s.recs = s.recs[:0]
+		s.FeedBatch(batch, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("shard feed loop allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+// TestShardedSpillSpeedup is the acceptance benchmark: a 10M+-event
+// spill file must analyze measurably faster at -shards 4 than on the
+// legacy single-pass path, while staying DeepEqual-identical. The
+// speedup assertion only arms on machines with enough cores and a
+// meaningful single-pass wall time; the equality check always runs.
+func TestShardedSpillSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-event speedup test skipped in -short mode")
+	}
+	rounds := 1_000_000
+	if raceEnabled {
+		// Race instrumentation multiplies both sides' cost without
+		// changing what is being proven here; the -race value of this
+		// test is the concurrency coverage, so shrink the trace.
+		rounds = 50_000
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.pfxt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := NewSpillRecorder(f, DefaultChunkEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		addr := mem.Addr(0x1000 + uint64(i%256)*0x100)
+		rec.Alloc(mem.SiteID(i%23+1), mem.StackSig(i%7), addr, 192)
+		for j := 0; j < 9; j++ {
+			rec.Access(addr+mem.Addr(j*16), 8, j%3 == 0)
+		}
+		rec.Free(addr)
+	}
+	rec.AddInstr(uint64(rounds) * 11)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	analyze := func(shards int) (*Analysis, time.Duration) {
+		t.Helper()
+		g, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		start := time.Now()
+		var a *Analysis
+		if shards == 1 {
+			sr, err := NewStreamReader(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, err = AnalyzeSource(sr); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			var err error
+			if a, err = AnalyzeStreamSharded(g, ShardConfig{Shards: shards}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a, time.Since(start)
+	}
+
+	// Timing passes first, results dropped and the heap collected in
+	// between, so neither side pays GC tax for the other's retained
+	// object graph; the equality pass runs untimed afterwards.
+	_, singleWall := analyze(1)
+	runtime.GC()
+	_, shardedWall := analyze(4)
+	runtime.GC()
+	single, _ := analyze(1)
+	sharded, _ := analyze(4)
+	if single.Events != rounds*11 {
+		t.Fatalf("events = %d, want %d", single.Events, rounds*11)
+	}
+	requireDeepEqual(t, "spill shards=4", single, sharded)
+	speedup := float64(singleWall) / float64(shardedWall)
+	t.Logf("events=%d single-pass=%v shards4=%v speedup=%.2fx", single.Events, singleWall, shardedWall, speedup)
+	if !raceEnabled && runtime.NumCPU() >= 4 && singleWall >= 300*time.Millisecond && shardedWall >= singleWall {
+		t.Errorf("sharded analysis (%v) not faster than single-pass (%v)", shardedWall, singleWall)
+	}
+}

@@ -34,6 +34,24 @@ import (
 //
 // The instruction count moves from the header to the terminator because
 // a spilling recorder only learns it when the run finishes.
+//
+// Version 3 — what the StreamWriter emits — is version 2 plus an indexed
+// chunk frame: each chunk additionally carries its encoded byte length
+// and the delta-decoder handoff (the per-kind previous addresses at the
+// chunk's first event), so a cheap sequential scanner can slice the file
+// into self-contained (bytes, start-state) units for the parallel decode
+// pool in shard.go without decoding anything itself:
+//
+//	magic "PFXT" | version=3 | chunkSize |
+//	  chunk*: eventCount (1..chunkSize) | byteLen |
+//	          prevAddr[Alloc] prevAddr[Free] prevAddr[Realloc] prevAddr[Access] |
+//	          events... (byteLen bytes)
+//	  terminator: 0 | instr
+//
+// The serial reader cross-checks the recorded handoff against its own
+// running decoder state, so a writer bug in the handoff snapshot can
+// never go unnoticed; the parallel path trusts it (that is the point:
+// decoding chunk k must not require decoding chunk k-1).
 
 // Source is a pull iterator over an event stream in trace order.
 type Source interface {
@@ -162,10 +180,14 @@ type StreamWriter struct {
 	chunk       bytes.Buffer // encoded bytes of the open chunk
 	chunkEvents int
 	n           int // events in the open chunk
-	instr       uint64
-	stats       RecorderStats
-	closed      bool
-	err         error
+	// handoff is the delta-encoder state at the open chunk's first
+	// event, snapshotted at every chunk boundary; the version-3 frame
+	// records it so chunks decode independently.
+	handoff [5]uint64
+	instr   uint64
+	stats   RecorderStats
+	closed  bool
+	err     error
 }
 
 // NewStreamWriter starts a chunked stream on w. chunkEvents is the
@@ -180,7 +202,7 @@ func NewStreamWriter(w io.Writer, chunkEvents int) (*StreamWriter, error) {
 	if _, err := sw.w.WriteString(magic); err != nil {
 		return nil, err
 	}
-	if err := writeUvarint(sw.w, versionChunked); err != nil {
+	if err := writeUvarint(sw.w, versionIndexed); err != nil {
 		return nil, err
 	}
 	if err := writeUvarint(sw.w, uint64(chunkEvents)); err != nil {
@@ -251,16 +273,28 @@ func (sw *StreamWriter) AppendBatch(evs []Event) error {
 	return nil
 }
 
-// flushChunk frames and writes the open chunk.
+// flushChunk frames and writes the open chunk: event count, encoded
+// byte length, the decoder handoff at the chunk's first event, then the
+// payload. The handoff snapshot rolls forward to the encoder's current
+// state for the next chunk.
 func (sw *StreamWriter) flushChunk() error {
 	if err := writeUvarint(sw.w, uint64(sw.n)); err != nil {
 		return sw.fail(err)
+	}
+	if err := writeUvarint(sw.w, uint64(sw.chunk.Len())); err != nil {
+		return sw.fail(err)
+	}
+	for kind := KindAlloc; kind <= KindAccess; kind++ {
+		if err := writeUvarint(sw.w, sw.handoff[kind]); err != nil {
+			return sw.fail(err)
+		}
 	}
 	if _, err := sw.chunk.WriteTo(sw.w); err != nil {
 		return sw.fail(err)
 	}
 	sw.chunk.Reset()
 	sw.n = 0
+	sw.handoff = sw.enc.prevAddr
 	sw.stats.Chunks++
 	return nil
 }
@@ -303,8 +337,8 @@ var _ Sink = (*StreamWriter)(nil)
 // --- Chunked / classic stream reader ----------------------------------
 
 // StreamReader decodes a trace file incrementally, holding no event
-// buffer at all. It accepts both container versions: the classic
-// version-1 file (header-counted) and the version-2 chunked stream.
+// buffer at all. It accepts every container version: the classic
+// version-1 file (header-counted) and the version-2/3 chunked streams.
 type StreamReader struct {
 	dec       eventDecoder
 	version   uint64
@@ -318,23 +352,36 @@ type StreamReader struct {
 	err       error
 }
 
+// readContainerHeader consumes the magic and version from br.
+func readContainerHeader(br *bufio.Reader) (ver uint64, err error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return 0, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return 0, errors.New("trace: bad magic (not a PreFix trace file)")
+	}
+	return binary.ReadUvarint(br)
+}
+
 // NewStreamReader reads the container header and returns a Source over
 // the file's events.
 func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(head) != magic {
-		return nil, errors.New("trace: bad magic (not a PreFix trace file)")
-	}
-	ver, err := binary.ReadUvarint(br)
+	ver, err := readContainerHeader(br)
 	if err != nil {
 		return nil, err
 	}
+	return newStreamReader(br, ver)
+}
+
+// newStreamReader continues after the magic and version have been
+// consumed from br (the sharded path peeks the version first to decide
+// between serial and parallel decode).
+func newStreamReader(br *bufio.Reader, ver uint64) (*StreamReader, error) {
 	s := &StreamReader{version: ver}
 	s.dec.br = br
+	var err error
 	switch ver {
 	case version:
 		if s.instr, err = binary.ReadUvarint(br); err != nil {
@@ -344,7 +391,7 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 			return nil, err
 		}
 		s.remaining = s.declared
-	case versionChunked:
+	case versionChunked, versionIndexed:
 		if s.chunkSize, err = binary.ReadUvarint(br); err != nil {
 			return nil, err
 		}
@@ -394,6 +441,33 @@ func (s *StreamReader) Next() (Event, bool) {
 				s.chunks, n, s.chunkSize))
 			return Event{}, false
 		}
+		if s.version == versionIndexed {
+			// Indexed frame: byte length and decoder handoff. The
+			// serial decoder's state already runs continuously, so the
+			// recorded handoff must match it exactly — a mismatch means
+			// a corrupt file or a broken writer snapshot.
+			byteLen, err := binary.ReadUvarint(s.dec.br)
+			if err != nil {
+				s.fail(fmt.Errorf("trace: chunk %d byte length: %w", s.chunks, err))
+				return Event{}, false
+			}
+			if byteLen > n*maxEventEncodedBytes {
+				s.fail(fmt.Errorf("trace: chunk %d claims %d bytes for %d events", s.chunks, byteLen, n))
+				return Event{}, false
+			}
+			for kind := KindAlloc; kind <= KindAccess; kind++ {
+				state, err := binary.ReadUvarint(s.dec.br)
+				if err != nil {
+					s.fail(fmt.Errorf("trace: chunk %d handoff: %w", s.chunks, err))
+					return Event{}, false
+				}
+				if state != s.dec.prevAddr[kind] {
+					s.fail(fmt.Errorf("trace: chunk %d handoff mismatch for kind %d: recorded %#x, decoder at %#x",
+						s.chunks, kind, state, s.dec.prevAddr[kind]))
+					return Event{}, false
+				}
+			}
+		}
 		s.chunks++
 		s.remaining = n
 	}
@@ -427,7 +501,7 @@ func (s *StreamReader) Chunks() uint64 { return s.chunks }
 // untrusted-eventCount fix — real events grow the slice as they decode).
 func (s *StreamReader) capHint() int {
 	hint := s.declared
-	if s.version == versionChunked {
+	if s.version != version {
 		hint = s.chunkSize
 	}
 	if hint > maxPreallocEvents {
